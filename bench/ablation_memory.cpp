@@ -1,0 +1,43 @@
+// Ablation A1 (DESIGN.md): in-memory computation vs forced spilling.
+// Sweeps the engine's reduce-staging memory budget on a reduce-heavy
+// WordCount (full reduce, no combiner) - as the budget shrinks, staged
+// input spills through the throttled disk and the job slows, quantifying
+// §3.1's in-memory claim.
+#include "bench/harness.h"
+
+#include "apps/wordcount.h"
+#include "gen/generators.h"
+
+using namespace hamr;
+using namespace hamr::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, std::string("ablation_memory - in-memory vs spill (A1)\n") + kUsage);
+  BenchSetup setup = BenchSetup::from_flags(flags);
+  setup.print_cluster_info("Ablation A1: engine memory budget sweep (WordCount, full reduce)");
+
+  const double budgets_mb[] = {64, 2, 0.5, 0.125};
+  std::printf("\n%-14s %10s %14s %12s\n", "Budget(MB)", "Time(s)", "SpillBytes",
+              "Slowdown");
+  double base_time = 0;
+  for (const double budget : budgets_mb) {
+    BenchSetup variant = setup;
+    variant.engine_memory_mb = budget;
+    apps::BenchEnv env = variant.make_env();
+    gen::TextSpec spec;
+    spec.total_bytes = static_cast<uint64_t>(16e6 * setup.scale);
+    std::vector<std::string> shards;
+    for (uint32_t i = 0; i < env.nodes(); ++i) {
+      shards.push_back(gen::text_shard(spec, i, env.nodes()));
+    }
+    auto staged = apps::stage_input(env, "wc_mem", shards);
+    auto info = apps::wordcount::run_hamr(env, staged, /*combine=*/false,
+                                          /*use_full_reduce=*/true);
+    if (base_time == 0) base_time = info.seconds;
+    std::printf("%-14.2f %10.3f %14llu %11.2fx\n", budget, info.seconds,
+                static_cast<unsigned long long>(info.engine_result.spill_bytes),
+                info.seconds / base_time);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Fig. 3(a): speedup of the four complex/iterative benchmarks
+// (K-Means, Classification, PageRank, KCliques) that exploit HAMR's
+// in-memory, multi-phase, locality-aware features. Paper: 10.3x-13.6x.
+#include "bench/harness.h"
+
+using namespace hamr;
+using namespace hamr::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, std::string("fig3a_speedup - Fig. 3(a) of the paper\n") + kUsage);
+  const BenchSetup setup = BenchSetup::from_flags(flags);
+  setup.print_cluster_info("Fig. 3(a): feature-exploiting benchmarks");
+
+  std::vector<Row> rows;
+  rows.push_back(bench_kmeans(setup));
+  rows.push_back(bench_classification(setup));
+  rows.push_back(bench_pagerank(setup));
+  rows.push_back(bench_kcliques(setup));
+  print_speedup_bars("Fig. 3(a) (reproduced, scaled)", rows);
+  return 0;
+}

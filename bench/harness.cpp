@@ -1,0 +1,281 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+
+#include "apps/classification.h"
+#include "apps/histograms.h"
+#include "apps/kcliques.h"
+#include "apps/kmeans.h"
+#include "apps/naive_bayes.h"
+#include "apps/pagerank.h"
+#include "apps/wordcount.h"
+#include "gen/generators.h"
+
+namespace hamr::bench {
+
+const char* const kUsage =
+    "common flags:\n"
+    "  --scale=F            data scale multiplier (default 1.0)\n"
+    "  --nodes=N            simulated nodes (default 8)\n"
+    "  --threads=N          worker threads per node (default 4)\n"
+    "  --disk_mbps=F        per-node disk bandwidth (default 32)\n"
+    "  --disk_seek_ms=F     per-request disk latency (default 2)\n"
+    "  --net_mbps=F         per-NIC bandwidth (default 256)\n"
+    "  --net_latency_us=F   per-message latency (default 100)\n"
+    "  --job_startup_ms=F   baseline per-job startup (default 250)\n"
+    "  --task_startup_ms=F  baseline per-task startup (default 15)\n"
+    "  --sort_buffer_kb=F   baseline map sort buffer (default 256)\n"
+    "  --update_rate=F      shared-variable updates/s per stripe (default 4e5)\n"
+    "  --memory_mb=F        engine reduce-staging budget (default 64)\n"
+    "  --dfs_block_kb=F     HDFS-analog block size (default 1024)\n"
+    "  --merge_fan_in=N     baseline io.sort.factor (default 10)\n"
+    "  --stripes=N          partial-reduce stripes per node (default 64)\n"
+    "  --flow_control_kb=F  outbox watermark (default 512)\n"
+    "  --bin_queue_kb=F     receiver bin-queue bound (default 1024)\n"
+    "  --ingress_kb=F       transport ingress buffer (default 1024)\n"
+    "  --no_flow_control    disable engine flow control\n";
+
+BenchSetup BenchSetup::from_flags(const Flags& flags) {
+  BenchSetup s;
+  s.nodes = static_cast<uint32_t>(flags.get_int("nodes", s.nodes));
+  s.threads = static_cast<uint32_t>(flags.get_int("threads", s.threads));
+  s.scale = flags.get_double("scale", s.scale);
+  s.disk_mbps = flags.get_double("disk_mbps", s.disk_mbps);
+  s.disk_seek_ms = flags.get_double("disk_seek_ms", s.disk_seek_ms);
+  s.net_mbps = flags.get_double("net_mbps", s.net_mbps);
+  s.net_latency_us = flags.get_double("net_latency_us", s.net_latency_us);
+  s.job_startup_ms = flags.get_double("job_startup_ms", s.job_startup_ms);
+  s.task_startup_ms = flags.get_double("task_startup_ms", s.task_startup_ms);
+  s.sort_buffer_kb = flags.get_double("sort_buffer_kb", s.sort_buffer_kb);
+  s.merge_fan_in = static_cast<uint32_t>(flags.get_int("merge_fan_in", s.merge_fan_in));
+  s.dfs_block_kb = flags.get_double("dfs_block_kb", s.dfs_block_kb);
+  s.shared_update_rate = flags.get_double("update_rate", s.shared_update_rate);
+  s.stripes = static_cast<uint32_t>(flags.get_int("stripes", s.stripes));
+  s.engine_memory_mb = flags.get_double("memory_mb", s.engine_memory_mb);
+  s.flow_control_kb = flags.get_double("flow_control_kb", s.flow_control_kb);
+  s.bin_queue_kb = flags.get_double("bin_queue_kb", s.bin_queue_kb);
+  s.ingress_kb = flags.get_double("ingress_kb", s.ingress_kb);
+  if (flags.get_bool("no_flow_control", false)) s.flow_control = false;
+  return s;
+}
+
+apps::BenchEnv BenchSetup::make_env() const {
+  cluster::ClusterConfig cluster_cfg;
+  cluster_cfg.num_nodes = nodes;
+  cluster_cfg.threads_per_node = threads;
+  cluster_cfg.disk.bandwidth_bytes_per_sec = disk_mbps * 1e6;
+  cluster_cfg.disk.seek_latency = from_seconds(disk_seek_ms * 1e-3);
+  cluster_cfg.net.bandwidth_bytes_per_sec = net_mbps * 1e6;
+  cluster_cfg.net.latency = from_seconds(net_latency_us * 1e-6);
+  cluster_cfg.net.ingress_capacity_bytes = static_cast<uint64_t>(ingress_kb * 1024);
+
+  engine::EngineConfig engine_cfg;
+  engine_cfg.shared_update_rate_per_stripe = shared_update_rate;
+  engine_cfg.partial_reduce_stripes = stripes;
+  engine_cfg.memory_budget_bytes = static_cast<uint64_t>(engine_memory_mb * 1e6);
+  engine_cfg.flow_control_high_bytes = static_cast<uint64_t>(flow_control_kb * 1024);
+  engine_cfg.flow_control_enabled = flow_control;
+  engine_cfg.bin_queue_bytes = static_cast<uint64_t>(bin_queue_kb * 1024);
+
+  dfs::DfsConfig dfs_cfg;
+  dfs_cfg.block_size = static_cast<uint64_t>(dfs_block_kb * 1024);
+
+  apps::BenchEnv env = apps::BenchEnv::make(cluster_cfg, engine_cfg, dfs_cfg);
+  env.mr_defaults.job_startup_cost = from_seconds(job_startup_ms * 1e-3);
+  env.mr_defaults.task_startup_cost = from_seconds(task_startup_ms * 1e-3);
+  env.mr_defaults.map_sort_buffer_bytes =
+      static_cast<uint64_t>(sort_buffer_kb * 1024);
+  env.mr_defaults.merge_fan_in = merge_fan_in;
+  return env;
+}
+
+void BenchSetup::print_cluster_info(const std::string& title) const {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf(
+      "cluster model (Table 1 analog): %u nodes x %u task slots | disk %.0f "
+      "MB/s + %.1f ms seek | NIC %.0f MB/s + %.0f us | baseline job startup "
+      "%.0f ms, task startup %.0f ms, sort buffer %.0f KB, merge fan-in %u | "
+      "data scale %.3gx of base\n",
+      nodes, threads, disk_mbps, disk_seek_ms, net_mbps, net_latency_us,
+      job_startup_ms, task_startup_ms, sort_buffer_kb, merge_fan_in, scale);
+}
+
+void print_table(const std::string& title, const std::vector<Row>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-18s %10s %14s %10s %9s %9s  %s\n", "Benchmark", "Data(MB)",
+              "Baseline(s)", "HAMR(s)", "Speedup", "Paper", "Notes");
+  for (const Row& row : rows) {
+    std::printf("%-18s %10.1f %14.3f %10.3f %8.2fx %8.2fx  %s\n",
+                row.name.c_str(), row.data_mb, row.baseline_s, row.hamr_s,
+                row.speedup(), row.paper_speedup, row.note.c_str());
+  }
+  std::fflush(stdout);
+}
+
+void print_speedup_bars(const std::string& title, const std::vector<Row>& rows) {
+  std::printf("\n%s\n", title.c_str());
+  double max_speedup = 1;
+  for (const Row& row : rows) max_speedup = std::max(max_speedup, row.speedup());
+  for (const Row& row : rows) {
+    const int width = static_cast<int>(50.0 * row.speedup() / max_speedup);
+    std::printf("%-18s %6.2fx |%s\n", row.name.c_str(), row.speedup(),
+                std::string(std::max(width, 1), '#').c_str());
+  }
+  std::printf("%-18s   (paper: ", "");
+  for (const Row& row : rows) std::printf("%s %.2fx  ", row.name.c_str(), row.paper_speedup);
+  std::printf(")\n");
+  std::fflush(stdout);
+}
+
+namespace {
+
+std::vector<std::string> make_shards(uint32_t n,
+                                     const std::function<std::string(uint32_t)>& fn) {
+  std::vector<std::string> shards;
+  shards.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) shards.push_back(fn(i));
+  return shards;
+}
+
+double mb(uint64_t bytes) { return static_cast<double>(bytes) / 1e6; }
+
+}  // namespace
+
+Row bench_kmeans(const BenchSetup& setup) {
+  apps::BenchEnv env = setup.make_env();
+  gen::MoviesSpec spec;
+  spec.total_bytes = static_cast<uint64_t>(64e6 * setup.scale);
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::movie_vectors_shard(spec, i, env.nodes());
+  });
+  auto staged = apps::stage_input(env, "kmeans", shards);
+  const auto params = apps::kmeans::make_params(shards, 8);
+
+  Row row{"K-Means", mb(staged.total_bytes), 0, 0, 10.31, "1 iter, k=8"};
+  row.baseline_s = apps::kmeans::run_baseline(env, staged, params).seconds;
+  row.hamr_s = apps::kmeans::run_hamr(env, staged, params).seconds;
+  return row;
+}
+
+Row bench_classification(const BenchSetup& setup) {
+  apps::BenchEnv env = setup.make_env();
+  gen::MoviesSpec spec;
+  spec.total_bytes = static_cast<uint64_t>(64e6 * setup.scale);
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::movie_vectors_shard(spec, i, env.nodes());
+  });
+  auto staged = apps::stage_input(env, "classification", shards);
+  const auto params = apps::kmeans::make_params(shards, 8);
+
+  Row row{"Classification", mb(staged.total_bytes), 0, 0, 13.03, "k=8 fixed"};
+  row.baseline_s = apps::classification::run_baseline(env, staged, params).seconds;
+  row.hamr_s = apps::classification::run_hamr(env, staged, params).seconds;
+  return row;
+}
+
+Row bench_pagerank(const BenchSetup& setup) {
+  apps::BenchEnv env = setup.make_env();
+  gen::WebGraphSpec spec;
+  spec.num_pages = 16384;
+  spec.num_edges = static_cast<uint64_t>(1000e3 * setup.scale);
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::web_graph_shard(spec, i, env.nodes());
+  });
+  auto staged = apps::stage_input(env, "pagerank", shards);
+  apps::pagerank::Params params;
+  params.num_pages = spec.num_pages;
+  params.iterations = 3;
+
+  Row row{"PageRank", mb(staged.total_bytes), 0, 0, 13.61, "3 iterations"};
+  row.baseline_s = apps::pagerank::run_baseline(env, staged, params).seconds;
+  row.hamr_s = apps::pagerank::run_hamr(env, staged, params).seconds;
+  return row;
+}
+
+Row bench_kcliques(const BenchSetup& setup) {
+  apps::BenchEnv env = setup.make_env();
+  gen::RmatSpec spec;
+  spec.scale = 12;
+  spec.num_edges = static_cast<uint64_t>(48e3 * setup.scale);
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::rmat_shard(spec, i, env.nodes());
+  });
+  auto staged = apps::stage_input(env, "kcliques", shards);
+  apps::kcliques::Params params;
+  params.k = 4;
+
+  Row row{"KCliques", mb(staged.total_bytes), 0, 0, 11.50, "K=4, R-MAT 2^12"};
+  row.baseline_s = apps::kcliques::run_baseline(env, staged, params).seconds;
+  row.hamr_s = apps::kcliques::run_hamr(env, staged, params).seconds;
+  return row;
+}
+
+Row bench_wordcount(const BenchSetup& setup) {
+  apps::BenchEnv env = setup.make_env();
+  gen::TextSpec spec;
+  spec.total_bytes = static_cast<uint64_t>(16e6 * setup.scale);
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::text_shard(spec, i, env.nodes());
+  });
+  auto staged = apps::stage_input(env, "wordcount", shards);
+
+  Row row{"WordCount", mb(staged.total_bytes), 0, 0, 1.20, "zipf 0.99"};
+  row.baseline_s = apps::wordcount::run_baseline(env, staged).seconds;
+  row.hamr_s = apps::wordcount::run_hamr(env, staged).seconds;
+  return row;
+}
+
+namespace {
+
+Row bench_histogram(const BenchSetup& setup, apps::histograms::Kind kind,
+                    bool hamr_combine) {
+  apps::BenchEnv env = setup.make_env();
+  gen::MoviesSpec spec;
+  spec.total_bytes = static_cast<uint64_t>(24e6 * setup.scale);
+  const bool movies = kind == apps::histograms::Kind::kMovies;
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::movies_shard(spec, i, env.nodes());
+  });
+  auto staged = apps::stage_input(
+      env, movies ? "histogram_movies" : "histogram_ratings", shards);
+
+  Row row{movies ? "HistogramMovies" : "HistogramRatings", mb(staged.total_bytes),
+          0, 0, 0, ""};
+  if (movies) {
+    row.paper_speedup = hamr_combine ? 1.79 : 1.72;
+  } else {
+    row.paper_speedup = hamr_combine ? 0.31 : 0.26;
+    row.note = "5-key skew";
+  }
+  if (hamr_combine) row.note += (row.note.empty() ? "" : ", ") + std::string("HAMR combiner");
+  row.baseline_s = apps::histograms::run_baseline(env, staged, kind).seconds;
+  row.hamr_s = apps::histograms::run_hamr(env, staged, kind, hamr_combine).seconds;
+  return row;
+}
+
+}  // namespace
+
+Row bench_histogram_movies(const BenchSetup& setup, bool hamr_combine) {
+  return bench_histogram(setup, apps::histograms::Kind::kMovies, hamr_combine);
+}
+
+Row bench_histogram_ratings(const BenchSetup& setup, bool hamr_combine) {
+  return bench_histogram(setup, apps::histograms::Kind::kRatings, hamr_combine);
+}
+
+Row bench_naive_bayes(const BenchSetup& setup) {
+  apps::BenchEnv env = setup.make_env();
+  gen::DocsSpec spec;
+  spec.total_bytes = static_cast<uint64_t>(4e6 * setup.scale);
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::docs_shard(spec, i, env.nodes());
+  });
+  auto staged = apps::stage_input(env, "naive_bayes", shards);
+
+  Row row{"NaiveBayes", mb(staged.total_bytes), 0, 0, 2.43, "2 jobs vs 1"};
+  row.baseline_s = apps::naive_bayes::run_baseline(env, staged).seconds;
+  row.hamr_s = apps::naive_bayes::run_hamr(env, staged).seconds;
+  return row;
+}
+
+}  // namespace hamr::bench

@@ -1,0 +1,87 @@
+// Shared harness for the paper-reproduction benches (Tables 2-3, Fig. 3,
+// ablations). Builds the scaled simulated cluster, stages identical inputs
+// for both engines, runs each benchmark, and prints paper-style tables.
+//
+// All knobs are flags so the calibration in EXPERIMENTS.md is reproducible:
+//   --scale=0.5 --nodes=8 --disk_mbps=64 --net_mbps=256 ...
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+#include "common/flags.h"
+
+namespace hamr::bench {
+
+struct BenchSetup {
+  // Cluster shape (paper Table 1: 15 worker nodes, 2x6-core Xeon; scaled).
+  uint32_t nodes = 8;
+  uint32_t threads = 4;
+
+  // Data scale multiplier over the base sizes (base ~= paper / 4000).
+  double scale = 1.0;
+
+  // Cost models (see DESIGN.md for the calibration rationale).
+  double disk_mbps = 32;
+  double disk_seek_ms = 2;
+  double net_mbps = 256;
+  double net_latency_us = 100;
+  double job_startup_ms = 250;   // baseline only
+  double task_startup_ms = 15;   // baseline only
+  double sort_buffer_kb = 256;   // baseline io.sort.mb analog
+  uint32_t merge_fan_in = 10;    // baseline io.sort.factor
+  double dfs_block_kb = 1024;    // HDFS block size analog (scaled)
+
+  // Engine knobs.
+  double shared_update_rate = 400e3;  // per stripe, ops/s
+  uint32_t stripes = 64;
+  double engine_memory_mb = 64;
+  double flow_control_kb = 512;   // outbox watermark (loader throttle)
+  double bin_queue_kb = 1024;     // receiver-side buffered-bin bound
+  double ingress_kb = 1024;       // transport ingress buffer
+  bool flow_control = true;
+
+  static BenchSetup from_flags(const Flags& flags);
+
+  apps::BenchEnv make_env() const;
+
+  // Prints the cluster model (the Table 1 analog) once per binary.
+  void print_cluster_info(const std::string& title) const;
+};
+
+struct Row {
+  std::string name;
+  double data_mb = 0;
+  double baseline_s = 0;
+  double hamr_s = 0;
+  double paper_speedup = 0;  // reference from the paper's Table 2
+  std::string note;
+
+  double speedup() const { return hamr_s > 0 ? baseline_s / hamr_s : 0; }
+};
+
+// Prints a Table-2-style table (and per-row paper reference speedups).
+void print_table(const std::string& title, const std::vector<Row>& rows);
+
+// Prints Fig.-3-style ASCII speedup bars.
+void print_speedup_bars(const std::string& title, const std::vector<Row>& rows);
+
+// The eight benchmarks. Each builds a fresh environment, stages input, runs
+// the baseline then HAMR, and returns the measured row. Variants:
+//   hamr_combine - enable HAMR's sender-side combiner (Table 3);
+// Base data sizes at scale=1 are documented in EXPERIMENTS.md.
+Row bench_kmeans(const BenchSetup& setup);
+Row bench_classification(const BenchSetup& setup);
+Row bench_pagerank(const BenchSetup& setup);
+Row bench_kcliques(const BenchSetup& setup);
+Row bench_wordcount(const BenchSetup& setup);
+Row bench_histogram_movies(const BenchSetup& setup, bool hamr_combine = false);
+Row bench_histogram_ratings(const BenchSetup& setup, bool hamr_combine = false);
+Row bench_naive_bayes(const BenchSetup& setup);
+
+// Common flag help string.
+extern const char* const kUsage;
+
+}  // namespace hamr::bench

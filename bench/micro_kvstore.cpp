@@ -1,0 +1,69 @@
+// Microbenchmarks for the distributed KV store: local puts/gets/appends and
+// remote (RPC-path) operations with the cost model off.
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "kvstore/kv_store.h"
+
+using namespace hamr;
+
+namespace {
+
+struct KvFixture {
+  KvFixture() : cluster(cluster::ClusterConfig::fast(4)), kv(cluster) {}
+  cluster::Cluster cluster;
+  kv::KvStore kv;
+};
+
+KvFixture& fixture() {
+  static KvFixture f;
+  return f;
+}
+
+}  // namespace
+
+static void BM_LocalPutGet(benchmark::State& state) {
+  auto& f = fixture();
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "bench/local/" + std::to_string(i++ % 1024);
+    const kv::NodeId owner = f.kv.owner_of(key);
+    f.kv.put(owner, key, value);
+    auto got = f.kv.get(owner, key);
+    benchmark::DoNotOptimize(got.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_LocalPutGet)->Arg(16)->Arg(1024);
+
+static void BM_RemotePutGet(benchmark::State& state) {
+  auto& f = fixture();
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "bench/remote/" + std::to_string(i++ % 1024);
+    const kv::NodeId owner = f.kv.owner_of(key);
+    const kv::NodeId caller = (owner + 1) % f.cluster.size();
+    f.kv.put(caller, key, value);
+    auto got = f.kv.get(caller, key);
+    benchmark::DoNotOptimize(got.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_RemotePutGet)->Arg(16)->Arg(1024);
+
+static void BM_LocalAppend(benchmark::State& state) {
+  auto& f = fixture();
+  uint64_t i = 0;
+  for (auto _ : state) {
+    const std::string key = "bench/append/" + std::to_string(i % 64);
+    const kv::NodeId owner = f.kv.owner_of(key);
+    f.kv.append(owner, key, "element");
+    if (++i % 4096 == 0) f.kv.clear_namespace("bench/append/");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalAppend);
+
+BENCHMARK_MAIN();

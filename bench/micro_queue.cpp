@@ -1,0 +1,54 @@
+// Microbenchmarks for the scheduling substrate: bounded-queue throughput and
+// thread-pool dispatch overhead.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "common/queue.h"
+#include "common/thread_pool.h"
+
+using namespace hamr;
+
+static void BM_QueuePushPopSingleThread(benchmark::State& state) {
+  BoundedQueue<uint64_t> q(1024);
+  for (auto _ : state) {
+    q.push(42);
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueuePushPopSingleThread);
+
+static void BM_QueueProducerConsumer(benchmark::State& state) {
+  for (auto _ : state) {
+    BoundedQueue<uint64_t> q(256);
+    constexpr uint64_t kItems = 10000;
+    std::thread producer([&] {
+      for (uint64_t i = 0; i < kItems; ++i) q.push(i);
+      q.close();
+    });
+    uint64_t sum = 0;
+    while (auto v = q.pop()) sum += *v;
+    producer.join();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_QueueProducerConsumer);
+
+static void BM_ThreadPoolDispatch(benchmark::State& state) {
+  ThreadPool pool(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    constexpr int kTasks = 1000;
+    std::atomic<int> done{0};
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+    benchmark::DoNotOptimize(done.load());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_ThreadPoolDispatch)->Arg(1)->Arg(4);
+
+BENCHMARK_MAIN();

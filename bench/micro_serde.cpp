@@ -1,0 +1,89 @@
+// Microbenchmarks for the serialization substrate: varint, record, and bin
+// encode/decode throughput (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "engine/bin.h"
+#include "serde/codec.h"
+#include "serde/serde.h"
+
+using namespace hamr;
+
+static void BM_VarintEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint64_t> values(4096);
+  for (auto& v : values) v = rng.next_u64() >> (rng.next_below(60));
+  ByteBuffer buf(64 * 1024);
+  for (auto _ : state) {
+    buf.clear();
+    serde::Writer w(buf);
+    for (uint64_t v : values) w.put_varint(v);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_VarintEncode);
+
+static void BM_VarintDecode(benchmark::State& state) {
+  Rng rng(1);
+  ByteBuffer buf(64 * 1024);
+  serde::Writer w(buf);
+  constexpr int kCount = 4096;
+  for (int i = 0; i < kCount; ++i) w.put_varint(rng.next_u64() >> rng.next_below(60));
+  for (auto _ : state) {
+    serde::Reader r(buf.view());
+    uint64_t sum = 0;
+    for (int i = 0; i < kCount; ++i) sum += r.get_varint();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * kCount);
+}
+BENCHMARK(BM_VarintDecode);
+
+static void BM_RecordEncode(benchmark::State& state) {
+  const std::string key = "some_reasonable_key";
+  const std::string value(static_cast<size_t>(state.range(0)), 'v');
+  ByteBuffer buf(1 << 20);
+  for (auto _ : state) {
+    buf.clear();
+    serde::Writer w(buf);
+    for (int i = 0; i < 1024; ++i) {
+      w.put_bytes(key);
+      w.put_bytes(value);
+    }
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * 1024 * (key.size() + value.size()));
+}
+BENCHMARK(BM_RecordEncode)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_BinBuildAndScan(benchmark::State& state) {
+  const std::string value(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    engine::BinBuilder builder(1, 0);
+    for (int i = 0; i < 512; ++i) builder.add("key", value);
+    const std::string bin = builder.take();
+    engine::BinView view(bin);
+    engine::KvPair record;
+    size_t total = 0;
+    while (view.next(&record)) total += record.value.size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(state.iterations() * 512 * (3 + value.size()));
+}
+BENCHMARK(BM_BinBuildAndScan)->Arg(16)->Arg(256);
+
+static void BM_TypedVectorRoundTrip(benchmark::State& state) {
+  std::vector<std::pair<uint32_t, double>> vec;
+  for (int i = 0; i < 256; ++i) vec.emplace_back(i * 7, i * 0.5);
+  for (auto _ : state) {
+    const std::string bytes = serde::encode_to_string(vec);
+    auto decoded =
+        serde::decode_from<std::vector<std::pair<uint32_t, double>>>(bytes);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+  state.SetItemsProcessed(state.iterations() * vec.size());
+}
+BENCHMARK(BM_TypedVectorRoundTrip);
+
+BENCHMARK_MAIN();

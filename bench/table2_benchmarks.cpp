@@ -1,0 +1,26 @@
+// Reproduces Table 2: execution time of all eight benchmarks on the Hadoop
+// baseline (IDH 3.0 analog) and on HAMR, plus the measured speedups next to
+// the paper's reference numbers.
+#include "bench/harness.h"
+
+using namespace hamr;
+using namespace hamr::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, std::string("table2_benchmarks - Table 2 of the paper\n") + kUsage);
+  const BenchSetup setup = BenchSetup::from_flags(flags);
+  setup.print_cluster_info("Table 2: baseline vs HAMR, all eight benchmarks");
+
+  std::vector<Row> rows;
+  rows.push_back(bench_kmeans(setup));
+  rows.push_back(bench_classification(setup));
+  rows.push_back(bench_pagerank(setup));
+  rows.push_back(bench_kcliques(setup));
+  rows.push_back(bench_wordcount(setup));
+  rows.push_back(bench_histogram_movies(setup));
+  rows.push_back(bench_histogram_ratings(setup));
+  rows.push_back(bench_naive_bayes(setup));
+
+  print_table("Table 2 (reproduced, scaled)", rows);
+  return 0;
+}

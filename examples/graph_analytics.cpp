@@ -1,0 +1,86 @@
+// Graph analytics example: iterative PageRank over a synthetic web graph,
+// exercising HAMR's multi-phase DAGs, the distributed key-value store, and
+// in-memory iteration (paper §3.2, Alg. 2).
+//
+// Iteration 0 builds adjacency lists into node-shared memory; every further
+// iteration streams contributions straight out of memory - no disk I/O and
+// no job-chaining overhead between iterations. The driver loop checks the
+// max rank delta after each iteration and stops at convergence.
+//
+// Run:  ./examples/graph_analytics [--pages=8192] [--edges=200000]
+//       [--max_iterations=10] [--epsilon=1e-6]
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/common.h"
+#include "apps/pagerank.h"
+#include "common/flags.h"
+#include "gen/generators.h"
+
+using namespace hamr;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv,
+              "graph_analytics - iterative PageRank on HAMR\n"
+              "  --nodes=N           cluster size (default 4)\n"
+              "  --pages=N           graph size (default 8192)\n"
+              "  --edges=N           edge count (default 200000)\n"
+              "  --max_iterations=N  iteration cap (default 10)\n"
+              "  --epsilon=F         convergence threshold (default 1e-6)");
+
+  cluster::ClusterConfig cluster_cfg;
+  cluster_cfg.num_nodes = static_cast<uint32_t>(flags.get_int("nodes", 4));
+  apps::BenchEnv env = apps::BenchEnv::make(cluster_cfg);
+
+  gen::WebGraphSpec spec;
+  spec.num_pages = static_cast<uint64_t>(flags.get_int("pages", 8192));
+  spec.num_edges = static_cast<uint64_t>(flags.get_int("edges", 200000));
+  std::vector<std::string> shards;
+  for (uint32_t i = 0; i < env.nodes(); ++i) {
+    shards.push_back(gen::web_graph_shard(spec, i, env.nodes()));
+  }
+  const apps::StagedInput input = apps::stage_input(env, "web_graph", shards);
+  std::printf("graph: %llu pages, %llu edges (%.1f MB)\n",
+              static_cast<unsigned long long>(spec.num_pages),
+              static_cast<unsigned long long>(spec.num_edges),
+              static_cast<double>(input.total_bytes) / 1e6);
+
+  // Driver loop: one multi-phase job per iteration; adjacency and ranks
+  // persist in the node-shared KV store between jobs, so iterations > 0
+  // never touch the input file again.
+  const double epsilon = flags.get_double("epsilon", 1e-6);
+  const auto max_iterations =
+      static_cast<uint32_t>(flags.get_int("max_iterations", 10));
+  apps::pagerank::Params params;
+  params.num_pages = spec.num_pages;
+
+  apps::pagerank::clear_pagerank_state(env);
+  double total_seconds = 0;
+  for (uint32_t iter = 0; iter < max_iterations; ++iter) {
+    const auto result = apps::pagerank::run_hamr_iteration(env, input, params, iter);
+    const double delta = apps::pagerank::max_delta(env);
+    total_seconds += result.wall_seconds;
+    std::printf("iteration %2u: %.3f s, max delta %.3e%s\n", iter + 1,
+                result.wall_seconds, delta,
+                iter == 0 ? "  (built adjacency in memory)" : "");
+    if (delta < epsilon) {
+      std::printf("converged after %u iterations\n", iter + 1);
+      break;
+    }
+  }
+  std::printf("total engine time: %.3f s\n", total_seconds);
+
+  // Top pages by final rank (read back from the KV store).
+  const auto ranks = apps::pagerank::hamr_ranks(env, params);
+  std::vector<std::pair<double, uint64_t>> top;
+  top.reserve(ranks.size());
+  for (const auto& [page, rank] : ranks) top.emplace_back(rank, page);
+  const size_t n = std::min<size_t>(5, top.size());
+  std::partial_sort(top.begin(), top.begin() + n, top.end(), std::greater<>());
+  std::printf("top pages:\n");
+  for (size_t i = 0; i < n; ++i) {
+    std::printf("  page %-8llu rank %.6f\n",
+                static_cast<unsigned long long>(top[i].second), top[i].first);
+  }
+  return 0;
+}

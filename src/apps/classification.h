@@ -1,0 +1,32 @@
+// Classification (paper §4): K-Means' assignment step with FIXED centroids.
+//
+// HAMR: TextLoader -> ClassifyMap (writes each movie to a local per-cluster
+// file - output in the MAP, §3.3) -> CountSink (cluster sizes). Only tiny
+// count records cross the network.
+// Baseline: one Hadoop job that shuffles every full movie line to reducers
+// which write the classified data back to the DFS.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+#include "apps/kmeans.h"
+
+namespace hamr::apps::classification {
+
+using kmeans::Params;
+using kmeans::RunInfo;
+
+RunInfo run_hamr(BenchEnv& env, const StagedInput& input, const Params& params);
+RunInfo run_baseline(BenchEnv& env, const StagedInput& input, const Params& params);
+
+// cluster id -> assigned movie count.
+std::map<uint32_t, uint64_t> hamr_cluster_sizes(BenchEnv& env);
+std::map<uint32_t, uint64_t> baseline_cluster_sizes(BenchEnv& env);
+std::map<uint32_t, uint64_t> reference(const std::vector<std::string>& shards,
+                                       const Params& params);
+
+}  // namespace hamr::apps::classification

@@ -1,0 +1,64 @@
+// Reusable counting pieces shared by WordCount, HistogramMovies and
+// HistogramRatings: a count-sink partial reduce for HAMR and a sum reducer
+// (also used as combiner) for the baseline.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "engine/flowlet.h"
+#include "mapreduce/api.h"
+
+namespace hamr::apps {
+
+inline uint64_t parse_count(std::string_view s) {
+  uint64_t n = 0;
+  std::from_chars(s.data(), s.data() + s.size(), n);
+  return n;
+}
+
+// Partial reduce summing decimal counts; as a sink it writes its node's
+// results to "<out_prefix>node<N>" as "key\tcount" lines.
+class CountSink : public engine::PartialReduceFlowlet {
+ public:
+  explicit CountSink(std::string out_prefix) : out_prefix_(std::move(out_prefix)) {}
+
+  void fold(std::string_view key, std::string_view value, std::string& acc) override {
+    (void)key;
+    acc = std::to_string(parse_count(acc) + parse_count(value));
+  }
+
+  void emit_result(std::string_view key, std::string_view acc,
+                   engine::Context& ctx) override {
+    (void)ctx;
+    out_.append(key);
+    out_.push_back('\t');
+    out_.append(acc);
+    out_.push_back('\n');
+  }
+
+  void finish(engine::Context& ctx) override {
+    ctx.local_store().write_file(out_prefix_ + "node" + std::to_string(ctx.node()),
+                                 out_);
+  }
+
+ private:
+  std::string out_prefix_;
+  std::string out_;
+};
+
+// Baseline reducer/combiner: sums decimal counts per key.
+class SumReducer : public mapreduce::Reducer {
+ public:
+  void reduce(std::string_view key, const std::vector<std::string_view>& values,
+              mapreduce::MrContext& ctx) override {
+    uint64_t total = 0;
+    for (std::string_view v : values) total += parse_count(v);
+    ctx.emit(key, std::to_string(total));
+  }
+};
+
+}  // namespace hamr::apps

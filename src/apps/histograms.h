@@ -1,0 +1,46 @@
+// HistogramMovies and HistogramRatings (paper §4).
+//
+// Both consume PUMA movie lines "m<id>:<r1>,<r2>,...".
+//   * HistogramMovies buckets each movie's AVERAGE rating into 0.5-wide bins
+//     ("1.0".."5.0") - a moderate key space.
+//   * HistogramRatings counts INDIVIDUAL ratings - exactly 5 keys, the
+//     pathologically skewed case behind the paper's only slowdown (§5.2).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace hamr::apps::histograms {
+
+struct RunInfo {
+  double seconds = 0;
+  engine::JobResult engine_result;
+  mapreduce::MrResult baseline_result;
+};
+
+// Movie-line helpers shared with tests.
+struct MovieLine {
+  std::string_view id;
+  std::vector<uint32_t> ratings;
+};
+bool parse_movie_line(std::string_view line, MovieLine* out);
+std::string movie_bucket(const std::vector<uint32_t>& ratings);  // "1.0".."5.0"
+
+// kind selects the benchmark.
+enum class Kind { kMovies, kRatings };
+
+RunInfo run_hamr(BenchEnv& env, const StagedInput& input, Kind kind,
+                 bool combine = false);
+RunInfo run_baseline(BenchEnv& env, const StagedInput& input, Kind kind,
+                     bool use_combiner = true);
+
+std::map<std::string, uint64_t> hamr_output(BenchEnv& env, Kind kind);
+std::map<std::string, uint64_t> baseline_output(BenchEnv& env, Kind kind);
+std::map<std::string, uint64_t> reference(const std::vector<std::string>& shards,
+                                          Kind kind);
+
+}  // namespace hamr::apps::histograms

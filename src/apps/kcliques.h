@@ -1,0 +1,45 @@
+// K-Cliques (paper §4, Alg. 3): enumerate all fully-connected K-vertex
+// subgraphs of an undirected R-MAT graph.
+//
+// Method (identical in all implementations): adjacency is stored "upward"
+// (adj+(v) = neighbors of v greater than v); a candidate record
+// (clique C, candidate set S) keyed by C's maximum vertex w is extended by
+// every x in S ∩ adj+(w), producing (C+x, S ∩ adj+(w)) keyed by x, until the
+// clique reaches size K.
+//
+// HAMR: ONE job - loader -> GraphBuilder (reduce, adjacency into the
+// node-shared KV store) -> TwoCliquesGen (map, fires on completion) ->
+// Verify3 -> ... -> VerifyK (maps, fine-grain, all in memory).
+// Baseline: K-1 CHAINED Hadoop jobs, each re-reading the edge file from the
+// DFS to rebuild adjacency at the reducers (the paper's motivating pain).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace hamr::apps::kcliques {
+
+struct Params {
+  uint32_t k = 4;
+};
+
+struct RunInfo {
+  double seconds = 0;
+  engine::JobResult engine_result;
+  std::vector<mapreduce::MrResult> baseline_results;
+};
+
+RunInfo run_hamr(BenchEnv& env, const StagedInput& input, const Params& params);
+RunInfo run_baseline(BenchEnv& env, const StagedInput& input, const Params& params);
+
+// Cliques as canonical "v1,v2,...,vk" strings (ascending vertices).
+std::set<std::string> hamr_cliques(BenchEnv& env);
+std::set<std::string> baseline_cliques(BenchEnv& env);
+std::set<std::string> reference(const std::vector<std::string>& shards,
+                                const Params& params);
+
+}  // namespace hamr::apps::kcliques

@@ -1,0 +1,92 @@
+#include "apps/movie_vectors.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace hamr::apps::movies {
+
+bool parse_movie_vector(std::string_view line, MovieVector* out) {
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  out->id = line.substr(0, colon);
+  out->coords.clear();
+  size_t pos = colon + 1;
+  while (pos < line.size()) {
+    size_t comma = line.find(',', pos);
+    if (comma == std::string_view::npos) comma = line.size();
+    const std::string_view token = line.substr(pos, comma - pos);
+    // token := "u<user>_<rating>"
+    const size_t underscore = token.find('_');
+    if (underscore != std::string_view::npos && !token.empty() && token[0] == 'u') {
+      uint32_t user = 0;
+      std::from_chars(token.data() + 1, token.data() + underscore, user);
+      uint32_t rating = 0;
+      std::from_chars(token.data() + underscore + 1, token.data() + token.size(),
+                      rating);
+      out->coords.emplace_back(user, static_cast<double>(rating));
+    }
+    pos = comma + 1;
+  }
+  return !out->coords.empty();
+}
+
+double cosine_similarity(const MovieVector& a, const MovieVector& b) {
+  double dot = 0, na = 0, nb = 0;
+  size_t i = 0, j = 0;
+  while (i < a.coords.size() && j < b.coords.size()) {
+    if (a.coords[i].first == b.coords[j].first) {
+      dot += a.coords[i].second * b.coords[j].second;
+      ++i;
+      ++j;
+    } else if (a.coords[i].first < b.coords[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  for (const auto& [user, r] : a.coords) na += r * r;
+  for (const auto& [user, r] : b.coords) nb += r * r;
+  if (na == 0 || nb == 0) return 0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+uint32_t assign_cluster(const MovieVector& movie,
+                        const std::vector<MovieVector>& centroids,
+                        double* similarity) {
+  uint32_t best = 0;
+  double best_sim = -1;
+  for (uint32_t c = 0; c < centroids.size(); ++c) {
+    const double sim = cosine_similarity(movie, centroids[c]);
+    if (sim > best_sim) {
+      best_sim = sim;
+      best = c;
+    }
+  }
+  if (similarity != nullptr) *similarity = best_sim;
+  return best;
+}
+
+std::vector<std::string> initial_centroid_lines(const std::string& shard0,
+                                                uint32_t k) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (lines.size() < k && pos < shard0.size()) {
+    size_t eol = shard0.find('\n', pos);
+    if (eol == std::string::npos) eol = shard0.size();
+    if (eol > pos) lines.emplace_back(shard0.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+std::vector<MovieVector> parse_centroids(const std::vector<std::string>& lines) {
+  std::vector<MovieVector> out;
+  out.reserve(lines.size());
+  for (const std::string& line : lines) {
+    MovieVector v;
+    if (parse_movie_vector(line, &v)) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace hamr::apps::movies

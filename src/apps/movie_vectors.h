@@ -1,0 +1,38 @@
+// Sparse movie vectors and cosine similarity, shared by K-Means and
+// Classification (paper §3.3/§4). Lines: "m<id>:u<user>_<rating>,..."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hamr::apps::movies {
+
+struct MovieVector {
+  std::string_view id;                              // "m<id>"
+  std::vector<std::pair<uint32_t, double>> coords;  // (user, rating), user asc
+};
+
+bool parse_movie_vector(std::string_view line, MovieVector* out);
+
+// Cosine similarity of two sparse vectors with ascending coordinate ids.
+double cosine_similarity(const MovieVector& a, const MovieVector& b);
+
+// Picks the most similar centroid; ties go to the lower index. Returns the
+// index and writes the similarity.
+uint32_t assign_cluster(const MovieVector& movie,
+                        const std::vector<MovieVector>& centroids,
+                        double* similarity);
+
+// Parses `k` centroid lines out of a shard's first lines (the deterministic
+// initial centroids both engines and the reference use). The returned strings
+// own the line text; parse each with parse_movie_vector.
+std::vector<std::string> initial_centroid_lines(const std::string& shard0,
+                                                uint32_t k);
+
+// Parses owned centroid lines into vectors that reference them. `storage`
+// must outlive the result.
+std::vector<MovieVector> parse_centroids(const std::vector<std::string>& lines);
+
+}  // namespace hamr::apps::movies

@@ -1,0 +1,43 @@
+// NaiveBayes training (paper §4, Alg. 4).
+//
+// Input: labeled documents "label<k>\tw1 w2 ...". Training accumulates, per
+// label, the summed term-count vector, and per feature, the summed weight.
+//
+// HAMR: one job, three flowlets past the loader -
+//   IndexInstancesMapper -> VectorSumReducer (partial) -> WeightSumReducer
+//   (partial). The two partial reduces start aggregating as data arrives.
+// Baseline: TWO chained Hadoop jobs (vector sum, then weight sum) with a DFS
+// round-trip between them.
+//
+// Output keys: "w<f>" = summed weight of feature f; "L:<label>" = summed
+// weight of all features under the label.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace hamr::apps::naive_bayes {
+
+struct RunInfo {
+  double seconds = 0;
+  engine::JobResult engine_result;
+  mapreduce::MrResult baseline_result;
+};
+
+RunInfo run_hamr(BenchEnv& env, const StagedInput& input);
+RunInfo run_baseline(BenchEnv& env, const StagedInput& input);
+
+std::map<std::string, uint64_t> hamr_output(BenchEnv& env);
+std::map<std::string, uint64_t> baseline_output(BenchEnv& env);
+std::map<std::string, uint64_t> reference(const std::vector<std::string>& shards);
+
+// Sparse term-count vector text codec ("w3:2 w10:1", feature-sorted) shared
+// with tests.
+std::map<std::string, uint64_t> parse_vector(std::string_view text);
+std::string encode_vector(const std::map<std::string, uint64_t>& vec);
+
+}  // namespace hamr::apps::naive_bayes

@@ -1,0 +1,61 @@
+// PageRank (paper §4, Alg. 2) - the multi-phase / in-memory-iteration
+// benchmark.
+//
+// HAMR: one multi-phase job per iteration. Iteration 1 builds adjacency
+// lists into the node-shared KV store (HashJoinRed); later iterations load
+// them straight from memory (EdgeLoader) - no disk I/O between iterations.
+// Baseline: TWO chained Hadoop jobs per iteration (join + aggregate), with
+// the edge file re-read from the DFS and ranks round-tripped through the DFS
+// every iteration.
+//
+// Update rule (all implementations + reference): pages with at least one
+// in-link get r' = 0.15/P + 0.85 * sum(contribs); pages without in-links
+// keep their rank (initially 1/P). Contribution of a page = rank/outdegree.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace hamr::apps::pagerank {
+
+struct Params {
+  uint64_t num_pages = 4096;
+  uint32_t iterations = 3;
+};
+
+struct RunInfo {
+  double seconds = 0;
+  std::vector<engine::JobResult> engine_results;      // one per iteration
+  std::vector<mapreduce::MrResult> baseline_results;  // two per iteration
+  double max_delta = 0;                               // last iteration
+};
+
+// `reload_each_iteration` disables the in-memory iteration path (ablation
+// A5): every iteration re-reads the edge file from disk and rebuilds the
+// adjacency lists, like a chained-job system would.
+RunInfo run_hamr(BenchEnv& env, const StagedInput& input, const Params& params,
+                 bool reload_each_iteration = false);
+
+// Driver-level single-iteration API: iteration 0 loads the edge file and
+// builds adjacency into the KV store; later iterations stream from memory.
+// Callers own clearing "pr/" state before iteration 0 (clear_pagerank_state)
+// and reading the per-iteration max delta for convergence loops.
+void clear_pagerank_state(BenchEnv& env);
+engine::JobResult run_hamr_iteration(BenchEnv& env, const StagedInput& input,
+                                     const Params& params, uint32_t iteration,
+                                     bool reload = false);
+double max_delta(BenchEnv& env);
+RunInfo run_baseline(BenchEnv& env, const StagedInput& input, const Params& params);
+
+// page id -> final rank (pages absent from the result keep 1/P).
+std::map<uint64_t, double> hamr_ranks(BenchEnv& env, const Params& params);
+std::map<uint64_t, double> baseline_ranks(BenchEnv& env, const Params& params,
+                                          uint32_t iterations);
+std::map<uint64_t, double> reference(const std::vector<std::string>& shards,
+                                     const Params& params);
+
+}  // namespace hamr::apps::pagerank

@@ -1,0 +1,44 @@
+// WordCount (paper §4): loader -> splitter map -> partial reduce.
+//
+// The HAMR version uses a PARTIAL reduce - counts increase the moment a word
+// arrives, with no aggregation barrier. The baseline is the classic Hadoop
+// job with a sum combiner. Both write "word\tcount".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace hamr::apps::wordcount {
+
+struct RunInfo {
+  double seconds = 0;
+  engine::JobResult engine_result;   // HAMR runs only
+  mapreduce::MrResult baseline_result;  // baseline runs only
+};
+
+// Builds the HAMR flowlet graph; exposed for tests/ablations that want to
+// tweak it. `combine` enables the sender-side combiner on the map->count
+// edge (Table 3); `use_full_reduce` swaps the partial reduce for a full
+// reduce (ablation A2).
+engine::FlowletGraph build_graph(uint32_t* loader_out, bool combine = false,
+                                 bool use_full_reduce = false);
+
+// Runs on HAMR; output in node-local "out/wordcount/" files.
+RunInfo run_hamr(BenchEnv& env, const StagedInput& input, bool combine = false,
+                 bool use_full_reduce = false);
+
+// Runs on the baseline; output in DFS "/out/wordcount/".
+RunInfo run_baseline(BenchEnv& env, const StagedInput& input,
+                     bool use_combiner = true);
+
+std::map<std::string, uint64_t> hamr_output(BenchEnv& env);
+std::map<std::string, uint64_t> baseline_output(BenchEnv& env);
+
+// Sequential reference for correctness checks.
+std::map<std::string, uint64_t> reference(const std::vector<std::string>& shards);
+
+}  // namespace hamr::apps::wordcount

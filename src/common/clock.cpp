@@ -1,0 +1,20 @@
+#include "common/clock.h"
+
+#include <cstdio>
+
+namespace hamr {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double s = to_seconds(d);
+  if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  } else if (s >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fus", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace hamr

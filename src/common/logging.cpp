@@ -1,0 +1,82 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace hamr::log {
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    const char* env = std::getenv("HAMR_LOG");
+    Level initial = env != nullptr ? parse_level(env) : Level::kWarn;
+    return static_cast<int>(initial);
+  }();
+  return level;
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "D";
+    case Level::kInfo:
+      return "I";
+    case Level::kWarn:
+      return "W";
+    case Level::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Level log_level() { return static_cast<Level>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(Level level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+Level parse_level(std::string_view text) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (char c : text) lowered.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  if (lowered == "debug") return Level::kDebug;
+  if (lowered == "info") return Level::kInfo;
+  if (lowered == "warn" || lowered == "warning") return Level::kWarn;
+  if (lowered == "error") return Level::kError;
+  return Level::kWarn;
+}
+
+namespace internal {
+
+LogLine::LogLine(Level level, const char* file, int line) : level_(level) {
+  using namespace std::chrono;
+  const auto now = duration_cast<milliseconds>(steady_clock::now().time_since_epoch()).count();
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << level_tag(level) << " " << now << " " << base << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  stream_ << "\n";
+  const std::string text = stream_.str();
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::fwrite(text.data(), 1, text.size(), stderr);
+  if (level_ >= Level::kError) std::fflush(stderr);
+}
+
+}  // namespace internal
+}  // namespace hamr::log

@@ -1,0 +1,67 @@
+// Minimal thread-safe leveled logger.
+//
+// Usage:
+//   HLOG(INFO) << "node " << id << " started";
+//
+// The default level is WARN so that tests and benches stay quiet; set
+// HAMR_LOG=debug|info|warn|error (or call set_log_level) to change it.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace hamr::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Returns the current global level (initialized once from $HAMR_LOG).
+Level log_level();
+
+// Overrides the global level for the rest of the process lifetime.
+void set_log_level(Level level);
+
+// Parses "debug"/"info"/"warn"/"error" (case-insensitive); defaults to WARN.
+Level parse_level(std::string_view text);
+
+namespace internal {
+
+// Accumulates one log line and emits it to stderr (with a held lock so
+// concurrent lines never interleave) when destroyed.
+class LogLine {
+ public:
+  LogLine(Level level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hamr::log
+
+#define HLOG_LEVEL_kDebug ::hamr::log::Level::kDebug
+#define HLOG_LEVEL_kInfo ::hamr::log::Level::kInfo
+#define HLOG_LEVEL_kWarn ::hamr::log::Level::kWarn
+#define HLOG_LEVEL_kError ::hamr::log::Level::kError
+
+#define HLOG(severity)                                                 \
+  if (::hamr::log::Level::k##severity >= ::hamr::log::log_level())     \
+  ::hamr::log::internal::LogLine(::hamr::log::Level::k##severity,      \
+                                 __FILE__, __LINE__)
+
+#define HLOG_DEBUG HLOG(Debug)
+#define HLOG_INFO HLOG(Info)
+#define HLOG_WARN HLOG(Warn)
+#define HLOG_ERROR HLOG(Error)

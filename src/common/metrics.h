@@ -1,0 +1,64 @@
+// Tiny metrics registry: named monotonic counters and gauges.
+//
+// Every node runtime, transport, and disk device owns a Metrics instance;
+// the benches aggregate them to report bytes spilled, flow-control stalls,
+// network bytes, etc. Counters are atomic so tasks can bump them lock-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hamr {
+
+class Counter {
+ public:
+  void add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  uint64_t get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// A registry of counters, keyed by name. Counter pointers remain stable for
+// the registry's lifetime, so hot paths can cache them.
+class Metrics {
+ public:
+  Counter* counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return slot.get();
+  }
+
+  // Snapshot of all counters, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) out.emplace_back(name, counter->get());
+    return out;
+  }
+
+  uint64_t value(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second->get();
+  }
+
+  // Adds every counter of `other` into this registry (for cluster-wide sums).
+  void merge_from(const Metrics& other) {
+    for (const auto& [name, value] : other.snapshot()) counter(name)->add(value);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+};
+
+}  // namespace hamr

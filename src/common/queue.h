@@ -1,0 +1,111 @@
+// Bounded multi-producer multi-consumer queue with close semantics.
+//
+// The node runtime's bin queue and the transport inboxes are instances of
+// this. The bound is load-bearing: it is where backpressure (the paper's
+// "flow control") physically happens. Follows CP.42 (never wait without a
+// condition) and CP.20 (RAII locking).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/clock.h"
+
+namespace hamr {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  // Blocks until there is room or the queue is closed.
+  // Returns false iff the queue was closed (the item is dropped).
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Waits at most `timeout`; nullopt on timeout or closed-and-drained.
+  std::optional<T> pop_for(Duration timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // After close(), pushes fail and pops drain the remaining items then
+  // return nullopt. Idempotent.
+  void close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  // True when at (or beyond) capacity - the flow-control trigger probe.
+  bool full() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size() >= capacity_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hamr

@@ -1,0 +1,37 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace hamr {
+namespace {
+
+// zeta(n, theta) = sum_{i=1..n} 1/i^theta. O(n) but only run at construction;
+// generator instances are reused across an entire dataset.
+double zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+
+}  // namespace
+
+Zipf::Zipf(uint64_t n, double theta) : n_(n == 0 ? 1 : n), theta_(theta) {
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  threshold_ = 1.0 + std::pow(0.5, theta_);
+}
+
+uint64_t Zipf::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < threshold_) return 1;
+  const auto rank = static_cast<uint64_t>(
+      static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+}  // namespace hamr

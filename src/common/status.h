@@ -1,0 +1,104 @@
+// Lightweight error-handling types used across the library.
+//
+// Most internal APIs are infallible by construction (bounded queues, in-memory
+// stores); Status/Result are used at module boundaries where I/O, lookup, or
+// protocol failures are expected outcomes rather than bugs.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace hamr {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kUnavailable,
+  kDeadlineExceeded,
+  kDataLoss,
+  kInternal,
+};
+
+// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* status_code_name(StatusCode code);
+
+// A cheap value type carrying success or an error code + message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  static Status AlreadyExists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  static Status InvalidArgument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  static Status OutOfRange(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  static Status FailedPrecondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  static Status Unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  static Status DeadlineExceeded(std::string m) { return {StatusCode::kDeadlineExceeded, std::move(m)}; }
+  static Status DataLoss(std::string m) { return {StatusCode::kDataLoss, std::move(m)}; }
+  static Status Internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "CODE: message".
+  std::string ToString() const;
+
+  // Throws std::runtime_error when not ok. For use in tests, examples, and
+  // top-level drivers where an error is unrecoverable.
+  void ExpectOk() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value or an error Status. Named Result to avoid colliding with
+// absl-style StatusOr expectations.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T&& value() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!value_.has_value()) {
+      throw std::runtime_error("Result accessed without value: " + status_.ToString());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hamr

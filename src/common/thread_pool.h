@@ -1,0 +1,77 @@
+// Fixed-size worker pool ("think in terms of tasks, not threads" - CP.4).
+//
+// Each simulated cluster node owns one ThreadPool; flowlet tasks, map tasks,
+// and reduce tasks are all submitted here. Threads are joined in the
+// destructor (CP.25/CP.26: never detach).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hamr {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Returns false if the pool is shutting down.
+  bool submit(std::function<void()> task);
+
+  // Blocks until the task queue is empty AND no task is executing.
+  void wait_idle();
+
+  // Stops accepting work, drains queued tasks, joins all threads. Idempotent.
+  void shutdown();
+
+  size_t num_threads() const { return threads_.size(); }
+  size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  std::string name_;
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> tasks_;
+  size_t active_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// Go-style WaitGroup: add() before scheduling, done() when finished, wait()
+// blocks until the count returns to zero. Used for fan-out/fan-in of tasks.
+class WaitGroup {
+ public:
+  void add(size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
+
+  void done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (count_ > 0) --count_;
+    if (count_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t count_ = 0;
+};
+
+}  // namespace hamr

@@ -1,0 +1,91 @@
+// MiniDfs: an HDFS-style distributed file system over the simulated cluster.
+//
+// Files are split into fixed-size blocks; each block is replicated onto
+// `replication` nodes' local stores (paying their disk cost). Readers prefer
+// a local replica; remote reads fetch the block through an RPC whose bytes
+// traverse the modeled network. Block locations are exposed so the MapReduce
+// baseline can schedule map tasks with data locality, exactly as Hadoop does.
+//
+// The namenode is simulated as shared in-process metadata guarded by a mutex
+// (namenode CPU cost is negligible in the paper's workloads; what matters is
+// block placement and the data path, which are fully modeled).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+
+namespace hamr::dfs {
+
+using cluster::NodeId;
+
+struct DfsConfig {
+  uint64_t block_size = 4 * 1024 * 1024;
+  uint32_t replication = 2;
+};
+
+struct BlockInfo {
+  uint64_t block_id = 0;
+  uint64_t offset = 0;  // within the file
+  uint64_t length = 0;
+  std::vector<NodeId> replicas;
+};
+
+struct DfsFileInfo {
+  std::string path;
+  uint64_t size = 0;
+  std::vector<BlockInfo> blocks;
+};
+
+// RPC method ids (dfs range: 50-59).
+namespace rpc_id {
+inline constexpr uint32_t kReadBlock = 50;
+inline constexpr uint32_t kWriteBlock = 51;
+}  // namespace rpc_id
+
+class MiniDfs {
+ public:
+  // Registers block-server RPC methods on every node of `cluster`.
+  MiniDfs(cluster::Cluster& cluster, DfsConfig config);
+
+  // Writes a complete file from `writer_node`. Blocks are placed round-robin
+  // starting at the writer (first replica local, Hadoop-style), remaining
+  // replicas on successive nodes. Overwrites any existing file.
+  Status write(NodeId writer_node, const std::string& path, std::string_view data);
+
+  // Reads a whole file from the perspective of `reader_node`.
+  Result<std::string> read(NodeId reader_node, const std::string& path);
+
+  // Reads [offset, offset+length) of a file.
+  Result<std::string> read_range(NodeId reader_node, const std::string& path,
+                                 uint64_t offset, uint64_t length);
+
+  Result<DfsFileInfo> stat(const std::string& path);
+  bool exists(const std::string& path);
+  Status remove(const std::string& path);
+  std::vector<std::string> list(const std::string& prefix);
+
+  // Sum of file sizes under the prefix (for input sizing in benches).
+  uint64_t total_size(const std::string& prefix);
+
+  const DfsConfig& config() const { return config_; }
+
+ private:
+  std::string block_path(uint64_t block_id) const;
+  Result<std::string> fetch_block(NodeId reader_node, const BlockInfo& block);
+
+  cluster::Cluster& cluster_;
+  DfsConfig config_;
+  std::mutex mu_;
+  std::map<std::string, DfsFileInfo> files_;
+  uint64_t next_block_id_ = 1;
+  uint32_t next_placement_ = 0;
+};
+
+}  // namespace hamr::dfs

@@ -1,0 +1,51 @@
+#include "engine/bin.h"
+
+namespace hamr::engine {
+
+BinBuilder::BinBuilder(uint64_t job_epoch, EdgeId edge)
+    : job_epoch_(job_epoch), edge_(edge) {}
+
+void BinBuilder::add(std::string_view key, std::string_view value) {
+  serde::Writer w(buf_);
+  w.put_bytes(key);
+  w.put_bytes(value);
+  ++count_;
+}
+
+std::string BinBuilder::take() {
+  ByteBuffer out(buf_.size() + 16);
+  serde::Writer w(out);
+  w.put_varint(job_epoch_);
+  w.put_varint(edge_);
+  w.put_varint(count_);
+  out.append(buf_.view());
+  buf_.clear();
+  count_ = 0;
+  return std::string(out.view());
+}
+
+BinView::BinView(std::string_view data) : data_(data) {
+  serde::Reader r(data_);
+  job_epoch_ = r.get_varint();
+  edge_ = static_cast<EdgeId>(r.get_varint());
+  count_ = r.get_varint();
+  records_start_ = r.position();
+  pos_ = records_start_;
+}
+
+bool BinView::next(KvPair* out) {
+  if (seen_ >= count_) return false;
+  serde::Reader r(data_.substr(pos_));
+  out->key = r.get_bytes();
+  out->value = r.get_bytes();
+  pos_ += r.position();
+  ++seen_;
+  return true;
+}
+
+void BinView::rewind() {
+  pos_ = records_start_;
+  seen_ = 0;
+}
+
+}  // namespace hamr::engine

@@ -1,0 +1,72 @@
+// Bins: packed batches of key-value records, the engine's unit of transfer
+// and scheduling.
+//
+// Wire layout:
+//   header := varint job_epoch | varint edge_id | varint record_count
+//   records := (varint key_len | key | varint value_len | value)*
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "serde/serde.h"
+
+namespace hamr::engine {
+
+using EdgeId = uint32_t;
+
+struct KvPair {
+  std::string_view key;
+  std::string_view value;
+};
+
+// Builds one bin. Not thread-safe; each task uses its own builders.
+class BinBuilder {
+ public:
+  BinBuilder(uint64_t job_epoch, EdgeId edge);
+
+  void add(std::string_view key, std::string_view value);
+
+  uint64_t payload_bytes() const { return buf_.size(); }
+  uint64_t records() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // Finalizes into a transferable string (header + records) and resets the
+  // builder for reuse.
+  std::string take();
+
+ private:
+  uint64_t job_epoch_;
+  EdgeId edge_;
+  ByteBuffer buf_;
+  uint64_t count_ = 0;
+};
+
+// Parses a received bin. Views returned by the iterator point into the
+// message payload owned by the caller.
+class BinView {
+ public:
+  // Throws serde::DecodeError on malformed input.
+  explicit BinView(std::string_view data);
+
+  uint64_t job_epoch() const { return job_epoch_; }
+  EdgeId edge() const { return edge_; }
+  uint64_t records() const { return count_; }
+
+  // Iteration: returns false at end.
+  bool next(KvPair* out);
+  void rewind();
+
+ private:
+  std::string_view data_;
+  uint64_t job_epoch_ = 0;
+  EdgeId edge_ = 0;
+  uint64_t count_ = 0;
+  size_t records_start_ = 0;
+  size_t pos_ = 0;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace hamr::engine

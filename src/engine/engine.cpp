@@ -1,0 +1,199 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace hamr::engine {
+
+namespace {
+
+internal::PartialTable* make_table(uint32_t stripes, double gate_rate) {
+  auto* table = new internal::PartialTable();
+  table->stripes.resize(stripes == 0 ? 1 : stripes);
+  for (auto& stripe : table->stripes) {
+    stripe.gate = std::make_unique<RateGate>(gate_rate);
+  }
+  return table;
+}
+
+// Counters that feed JobResult deltas.
+const char* const kDeltaCounters[] = {
+    "engine.records", "engine.bins",   "engine.bin_bytes",
+    "engine.spill_bytes", "engine.stalls", "engine.stall_ns",
+};
+
+}  // namespace
+
+Engine::Engine(cluster::Cluster& cluster, EngineConfig config)
+    : cluster_(cluster), config_(config), kv_(cluster) {
+  runtimes_.reserve(cluster_.size());
+  for (uint32_t i = 0; i < cluster_.size(); ++i) {
+    runtimes_.push_back(
+        std::make_unique<NodeRuntime>(this, &cluster_.node(i), config_));
+  }
+}
+
+Engine::~Engine() = default;
+
+JobResult Engine::run(const FlowletGraph& graph, const JobInputs& inputs) {
+  return run_internal(graph, inputs, Duration::zero(), Duration::zero());
+}
+
+JobResult Engine::run_streaming(const FlowletGraph& graph, const JobInputs& inputs,
+                                Duration duration, Duration window_every) {
+  if (duration <= Duration::zero()) {
+    throw std::invalid_argument("streaming duration must be positive");
+  }
+  return run_internal(graph, inputs, duration, window_every);
+}
+
+JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& inputs,
+                               Duration stream_duration, Duration window_every) {
+  graph.validate();
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (job_running_) throw std::logic_error("engine runs one job at a time");
+    job_running_ = true;
+    nodes_done_ = 0;
+  }
+  ++epoch_;
+
+  const uint32_t num_nodes = cluster_.size();
+
+  // Baseline counter snapshot for the result deltas.
+  std::map<std::string, uint64_t> before;
+  for (const char* name : kDeltaCounters) before[name] = total_counter(name);
+
+  // Distinct upstream flowlet count per flowlet (channels arrive per node).
+  std::vector<uint32_t> distinct_upstreams(graph.num_flowlets(), 0);
+  for (FlowletId f = 0; f < graph.num_flowlets(); ++f) {
+    std::set<FlowletId> ups;
+    for (EdgeId eid : graph.flowlet(f).in_edges) ups.insert(graph.edge(eid).src);
+    distinct_upstreams[f] = static_cast<uint32_t>(ups.size());
+  }
+
+  // Phase 1: build and attach per-node job state everywhere, so that the
+  // earliest bins from any node already resolve on every other node.
+  // The graph is copied into shared ownership: completion broadcasts can
+  // still be crossing the fabric after run() returns.
+  auto graph_shared = std::make_shared<const FlowletGraph>(graph);
+  std::vector<std::shared_ptr<internal::JobState>> jobs(num_nodes);
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    auto job = std::make_shared<internal::JobState>();
+    job->epoch = epoch_;
+    job->graph = graph_shared;
+    job->flowlets.reserve(graph.num_flowlets());
+    for (FlowletId f = 0; f < graph.num_flowlets(); ++f) {
+      const GraphNode& gnode = graph.flowlet(f);
+      auto fs = std::make_unique<internal::FlowletState>();
+      fs->kind = gnode.kind;
+      fs->instance = gnode.factory();
+      if (!fs->instance) {
+        throw std::invalid_argument("factory for '" + gnode.name + "' returned null");
+      }
+      fs->channels_total = distinct_upstreams[f] * num_nodes;
+      if (gnode.kind == FlowletKind::kReduce) {
+        const uint32_t stages = std::max(1u, config_.reduce_subpartitions);
+        for (uint32_t s = 0; s < stages; ++s) {
+          fs->stages.push_back(std::make_unique<internal::ReduceStage>());
+        }
+      }
+      if (gnode.kind == FlowletKind::kPartialReduce) {
+        fs->table.reset(make_table(config_.partial_reduce_stripes,
+                                   config_.shared_update_rate_per_stripe));
+      }
+      for (EdgeId eid : gnode.out_edges) {
+        if (graph.edge(eid).options.combine) {
+          fs->combine_tables.emplace(
+              eid, std::unique_ptr<internal::PartialTable>(make_table(
+                       config_.partial_reduce_stripes,
+                       config_.shared_update_rate_per_stripe)));
+        }
+      }
+      job->flowlets.push_back(std::move(fs));
+    }
+    jobs[n] = std::move(job);
+    runtimes_[n]->attach_job(jobs[n]);
+  }
+
+  // Split assignment: every split runs on its preferred node (HAMR reads
+  // from local disks, paper §5.1).
+  std::vector<std::map<FlowletId, std::vector<InputSplit>>> assignment(num_nodes);
+  for (const auto& [loader, splits] : inputs.splits) {
+    if (loader >= graph.num_flowlets() ||
+        graph.flowlet(loader).kind != FlowletKind::kLoader) {
+      throw std::invalid_argument("inputs reference non-loader flowlet " +
+                                  std::to_string(loader));
+    }
+    for (const InputSplit& split : splits) {
+      assignment[split.preferred_node % num_nodes][loader].push_back(split);
+    }
+  }
+  // Loaders with no splits at all on a node must still be tracked; the
+  // activate path completes them immediately (splits_outstanding == 0).
+
+  Stopwatch watch;
+
+  // Phase 2: activate.
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    runtimes_[n]->activate_job(assignment[n]);
+  }
+
+  // Streaming: punctuate windows until the duration elapses, then ask the
+  // sources to stop; completion cascades exactly as in batch.
+  if (stream_duration > Duration::zero()) {
+    const TimePoint deadline = now() + stream_duration;
+    while (now() < deadline) {
+      const Duration nap = window_every > Duration::zero()
+                               ? std::min(window_every, deadline - now())
+                               : deadline - now();
+      std::this_thread::sleep_for(nap);
+      if (now() >= deadline) break;
+      if (window_every > Duration::zero()) {
+        for (uint32_t n = 0; n < num_nodes; ++n) {
+          for (FlowletId f = 0; f < graph.num_flowlets(); ++f) {
+            if (graph.flowlet(f).kind != FlowletKind::kPartialReduce) continue;
+            NodeRuntime* rt = runtimes_[n].get();
+            rt->submit_task([rt, f] { rt->flush_window(f); });
+          }
+        }
+      }
+    }
+    for (auto& rt : runtimes_) rt->request_stream_stop();
+  }
+
+  // Wait for every node to report all flowlets complete.
+  {
+    std::unique_lock<std::mutex> lock(done_mu_);
+    done_cv_.wait(lock, [&] { return nodes_done_ == num_nodes; });
+    job_running_ = false;
+  }
+
+  JobResult result;
+  result.wall_seconds = watch.elapsed_seconds();
+  result.records_emitted = total_counter("engine.records") - before["engine.records"];
+  result.bins_sent = total_counter("engine.bins") - before["engine.bins"];
+  result.bin_bytes = total_counter("engine.bin_bytes") - before["engine.bin_bytes"];
+  result.spill_bytes =
+      total_counter("engine.spill_bytes") - before["engine.spill_bytes"];
+  result.flow_control_stalls =
+      total_counter("engine.stalls") - before["engine.stalls"];
+  result.flow_control_stall_seconds =
+      static_cast<double>(total_counter("engine.stall_ns") -
+                          before["engine.stall_ns"]) *
+      1e-9;
+  return result;
+}
+
+void Engine::node_job_done(uint32_t node) {
+  (void)node;
+  std::lock_guard<std::mutex> lock(done_mu_);
+  ++nodes_done_;
+  done_cv_.notify_all();
+}
+
+}  // namespace hamr::engine

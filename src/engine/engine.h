@@ -1,0 +1,83 @@
+// Engine: the cluster-wide HAMR instance and job driver.
+//
+// One Engine is deployed per cluster (like the HAMR daemon set in the paper);
+// it owns a NodeRuntime on every node plus the distributed key-value store,
+// and runs jobs - batch or streaming - one at a time.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "engine/config.h"
+#include "engine/graph.h"
+#include "engine/runtime.h"
+#include "engine/split.h"
+#include "kvstore/kv_store.h"
+
+namespace hamr::engine {
+
+struct JobResult {
+  double wall_seconds = 0;
+  uint64_t records_emitted = 0;
+  uint64_t bins_sent = 0;
+  uint64_t bin_bytes = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t flow_control_stalls = 0;
+  double flow_control_stall_seconds = 0;
+};
+
+class Engine {
+ public:
+  Engine(cluster::Cluster& cluster, EngineConfig config = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Runs a batch job to completion. Graphs are validated on entry; jobs run
+  // one at a time per engine.
+  JobResult run(const FlowletGraph& graph, const JobInputs& inputs);
+
+  // Runs a streaming job: stream loaders (LoaderFlowlets that keep returning
+  // true from load_chunk until Context::stream_stopping()) are stopped after
+  // `duration`; every partial-reduce flowlet's window is flushed downstream
+  // each `window_every` until then. Completion then cascades as in batch.
+  JobResult run_streaming(const FlowletGraph& graph, const JobInputs& inputs,
+                          Duration duration, Duration window_every);
+
+  kv::KvStore& kv() { return kv_; }
+  cluster::Cluster& cluster() { return cluster_; }
+  const EngineConfig& config() const { return config_; }
+
+  // Cluster-wide counter sum convenience (engine.* counters live on node
+  // metrics).
+  uint64_t total_counter(const std::string& name) const {
+    return cluster_.total_counter(name);
+  }
+
+ private:
+  friend class NodeRuntime;
+  friend class TaskContext;
+
+  JobResult run_internal(const FlowletGraph& graph, const JobInputs& inputs,
+                         Duration stream_duration, Duration window_every);
+  void node_job_done(uint32_t node);
+  NodeRuntime& runtime(uint32_t node) { return *runtimes_.at(node); }
+
+  cluster::Cluster& cluster_;
+  EngineConfig config_;
+  kv::KvStore kv_;
+  std::vector<std::unique_ptr<NodeRuntime>> runtimes_;
+
+  uint64_t epoch_ = 0;
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+  uint32_t nodes_done_ = 0;
+  bool job_running_ = false;
+};
+
+}  // namespace hamr::engine

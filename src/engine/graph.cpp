@@ -1,0 +1,98 @@
+#include "engine/graph.h"
+
+#include <stdexcept>
+
+namespace hamr::engine {
+
+const char* flowlet_kind_name(FlowletKind kind) {
+  switch (kind) {
+    case FlowletKind::kLoader:
+      return "loader";
+    case FlowletKind::kMap:
+      return "map";
+    case FlowletKind::kReduce:
+      return "reduce";
+    case FlowletKind::kPartialReduce:
+      return "partial_reduce";
+  }
+  return "?";
+}
+
+void PartialReduceFlowlet::emit_result(std::string_view key, std::string_view acc,
+                                       Context& ctx) {
+  if (ctx.num_out_ports() > 0) ctx.emit(0, key, acc);
+}
+
+FlowletId FlowletGraph::add(std::string name, FlowletKind kind,
+                            FlowletFactory factory) {
+  GraphNode node;
+  node.id = static_cast<FlowletId>(nodes_.size());
+  node.name = std::move(name);
+  node.kind = kind;
+  node.factory = std::move(factory);
+  nodes_.push_back(std::move(node));
+  return nodes_.back().id;
+}
+
+EdgeId FlowletGraph::connect(FlowletId src, FlowletId dst, EdgeOptions options) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    throw std::invalid_argument("connect: unknown flowlet id");
+  }
+  GraphEdge edge;
+  edge.id = static_cast<EdgeId>(edges_.size());
+  edge.src = src;
+  edge.dst = dst;
+  edge.src_port = static_cast<uint32_t>(nodes_[src].out_edges.size());
+  edge.options = options;
+  edges_.push_back(edge);
+  nodes_[src].out_edges.push_back(edge.id);
+  nodes_[dst].in_edges.push_back(edge.id);
+  return edge.id;
+}
+
+void FlowletGraph::validate() const {
+  for (const GraphNode& node : nodes_) {
+    if (!node.factory) {
+      throw std::invalid_argument("flowlet '" + node.name + "' has no factory");
+    }
+    if (node.kind == FlowletKind::kLoader && !node.in_edges.empty()) {
+      throw std::invalid_argument("loader '" + node.name + "' has inputs");
+    }
+  }
+  for (const GraphEdge& edge : edges_) {
+    if (edge.options.combine &&
+        nodes_[edge.dst].kind != FlowletKind::kPartialReduce) {
+      throw std::invalid_argument("combine edge into non-partial-reduce '" +
+                                  nodes_[edge.dst].name + "'");
+    }
+  }
+  // Cycle check == topological sort succeeding.
+  (void)topological_order();
+}
+
+std::vector<FlowletId> FlowletGraph::topological_order() const {
+  std::vector<uint32_t> indegree(nodes_.size(), 0);
+  for (const GraphEdge& edge : edges_) ++indegree[edge.dst];
+
+  std::vector<FlowletId> order;
+  order.reserve(nodes_.size());
+  std::vector<FlowletId> frontier;
+  for (const GraphNode& node : nodes_) {
+    if (indegree[node.id] == 0) frontier.push_back(node.id);
+  }
+  while (!frontier.empty()) {
+    const FlowletId id = frontier.back();
+    frontier.pop_back();
+    order.push_back(id);
+    for (EdgeId eid : nodes_[id].out_edges) {
+      const GraphEdge& edge = edges_[eid];
+      if (--indegree[edge.dst] == 0) frontier.push_back(edge.dst);
+    }
+  }
+  if (order.size() != nodes_.size()) {
+    throw std::invalid_argument("flowlet graph has a cycle");
+  }
+  return order;
+}
+
+}  // namespace hamr::engine

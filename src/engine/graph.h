@@ -1,0 +1,93 @@
+// Flowlet DAG construction and validation.
+//
+// Unlike MapReduce's fixed map->reduce shape, a HAMR job is an arbitrary DAG:
+// any flowlet may feed any other, with fan-in and fan-out (paper §3.2). Each
+// connect() call adds one out-port to the source (ports are numbered in
+// connect order) and one upstream channel set to the destination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/flowlet.h"
+
+namespace hamr::engine {
+
+struct EdgeOptions {
+  // Sender-side combining: fold records with the destination partial-reduce
+  // flowlet's fold() before packing bins (Table 3's combiner). Only valid
+  // when the destination is a PartialReduce flowlet.
+  bool combine = false;
+  // Local routing: records stay on the emitting node instead of being
+  // hash-partitioned by key. The data-locality primitive of §3.3 - used on
+  // loader->map edges so raw input is processed where its disk lives, with
+  // only derived (small) records crossing the network downstream.
+  bool local = false;
+};
+
+// Shorthand for a locality-preserving edge.
+inline EdgeOptions local_edge() {
+  EdgeOptions options;
+  options.local = true;
+  return options;
+}
+
+struct GraphEdge {
+  EdgeId id = 0;
+  FlowletId src = 0;
+  FlowletId dst = 0;
+  uint32_t src_port = 0;  // index among src's out-edges
+  EdgeOptions options;
+};
+
+struct GraphNode {
+  FlowletId id = 0;
+  std::string name;
+  FlowletKind kind = FlowletKind::kMap;
+  FlowletFactory factory;
+  std::vector<EdgeId> out_edges;  // ordered by port
+  std::vector<EdgeId> in_edges;
+};
+
+class FlowletGraph {
+ public:
+  FlowletId add_loader(std::string name, FlowletFactory factory) {
+    return add(std::move(name), FlowletKind::kLoader, std::move(factory));
+  }
+  FlowletId add_map(std::string name, FlowletFactory factory) {
+    return add(std::move(name), FlowletKind::kMap, std::move(factory));
+  }
+  FlowletId add_reduce(std::string name, FlowletFactory factory) {
+    return add(std::move(name), FlowletKind::kReduce, std::move(factory));
+  }
+  FlowletId add_partial_reduce(std::string name, FlowletFactory factory) {
+    return add(std::move(name), FlowletKind::kPartialReduce, std::move(factory));
+  }
+
+  // Connects src -> dst; returns the edge id. The edge becomes src's next
+  // out-port (emit(port, ...) indexes them in connect order).
+  EdgeId connect(FlowletId src, FlowletId dst, EdgeOptions options = {});
+
+  // Structural checks: ids valid, acyclic, loaders have no inputs, combine
+  // edges target partial reduces. Throws std::invalid_argument on violation.
+  void validate() const;
+
+  size_t num_flowlets() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+  const GraphNode& flowlet(FlowletId id) const { return nodes_.at(id); }
+  const GraphEdge& edge(EdgeId id) const { return edges_.at(id); }
+  const std::vector<GraphNode>& flowlets() const { return nodes_; }
+  const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  // Flowlet ids in a topological order (validate() must pass first).
+  std::vector<FlowletId> topological_order() const;
+
+ private:
+  FlowletId add(std::string name, FlowletKind kind, FlowletFactory factory);
+
+  std::vector<GraphNode> nodes_;
+  std::vector<GraphEdge> edges_;
+};
+
+}  // namespace hamr::engine

@@ -1,0 +1,50 @@
+// RateGate: a serial-resource cost model for contended shared variables.
+//
+// HAMR runs one engine instance per node; every worker thread on the node
+// folds into the same partial-reduce accumulator table. Updates to one
+// accumulator (one stripe) serialize on real hardware through the cache
+// line; the paper measures this as "severe memory contention" on
+// HistogramRatings (§5.2). Wall-clock contention does not reproduce on this
+// build machine (single core), so the serialization is modeled the same way
+// as the disk and the NIC: a rate-limited serial resource whose callers wait
+// until their modeled completion time.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "common/clock.h"
+
+namespace hamr::engine {
+
+class RateGate {
+ public:
+  // `ops_per_sec` <= 0 disables the gate entirely.
+  explicit RateGate(double ops_per_sec) : ops_per_sec_(ops_per_sec) {}
+
+  // Charges `ops` operations and blocks the caller until the modeled finish
+  // time. Concurrent callers serialize in arrival order.
+  void charge(uint64_t ops) {
+    if (ops_per_sec_ <= 0 || ops == 0) return;
+    const Duration cost = from_seconds(static_cast<double>(ops) / ops_per_sec_);
+    TimePoint finish;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const TimePoint start = std::max(now(), busy_until_);
+      finish = start + cost;
+      busy_until_ = finish;
+    }
+    std::this_thread::sleep_until(finish);
+  }
+
+  bool enabled() const { return ops_per_sec_ > 0; }
+
+ private:
+  const double ops_per_sec_;
+  std::mutex mu_;
+  TimePoint busy_until_{};
+};
+
+}  // namespace hamr::engine

@@ -1,0 +1,768 @@
+#include "engine/runtime.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "engine/engine.h"
+#include "storage/run_file.h"
+
+namespace hamr::engine {
+
+namespace {
+
+// Control message kinds carried in kEngineControl payloads.
+constexpr uint64_t kCtlComplete = 1;
+
+// Sub-partition / stripe selection must be independent of the node-partition
+// hash, or all of a node's keys would land in one stage.
+uint32_t stage_of(std::string_view key, uint32_t stages) {
+  return stages <= 1
+             ? 0
+             : static_cast<uint32_t>(hash_combine(hash_bytes(key), 0x5743) % stages);
+}
+
+uint32_t stripe_of(std::string_view key, uint32_t stripes) {
+  return stripes <= 1
+             ? 0
+             : static_cast<uint32_t>(hash_combine(hash_bytes(key), 0x9d13) % stripes);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TaskContext: the Context implementation handed to flowlet code for the
+// duration of one task. Buffers emissions into per-(edge, destination) bin
+// builders, flushing full bins immediately and the rest at task end.
+// ---------------------------------------------------------------------------
+class TaskContext : public Context {
+ public:
+  TaskContext(NodeRuntime* rt, internal::JobState* job, FlowletId fid,
+              bool allow_emit = true)
+      : rt_(rt), job_(job), fid_(fid), allow_emit_(allow_emit) {}
+
+  ~TaskContext() override { flush_all(); }
+
+  void emit(uint32_t port, std::string_view key, std::string_view value) override {
+    require_emit();
+    const GraphEdge& edge = out_edge(port);
+    if (edge.options.combine) {
+      combine_emit(edge, key, value);
+      return;
+    }
+    const NodeId dst =
+        edge.options.local ? rt_->node_id() : partition_of(key, num_nodes());
+    add_record(edge.id, dst, key, value);
+  }
+
+  void emit_to_node(uint32_t port, NodeId node, std::string_view key,
+                    std::string_view value) override {
+    require_emit();
+    add_record(out_edge(port).id, node % num_nodes(), key, value);
+  }
+
+  void emit_broadcast(uint32_t port, std::string_view key,
+                      std::string_view value) override {
+    require_emit();
+    const EdgeId edge = out_edge(port).id;
+    for (NodeId n = 0; n < num_nodes(); ++n) add_record(edge, n, key, value);
+  }
+
+  NodeId node() const override { return rt_->node_id(); }
+  uint32_t num_nodes() const override { return rt_->engine_->cluster().size(); }
+  uint32_t num_out_ports() const override {
+    return static_cast<uint32_t>(job_->graph->flowlet(fid_).out_edges.size());
+  }
+  kv::KvStore& kv() override { return rt_->engine_->kv(); }
+  storage::FileStore& local_store() override { return rt_->node().store(); }
+  Metrics& metrics() override { return rt_->metrics(); }
+  bool stream_stopping() const override {
+    return rt_->streaming_stop_.load(std::memory_order_relaxed);
+  }
+
+  void flush_all() {
+    for (auto& [key, builder] : builders_) {
+      flush_builder(key.second, builder);
+    }
+    charge_combine_gates();
+  }
+
+ private:
+  void require_emit() const {
+    if (!allow_emit_) {
+      throw std::logic_error(
+          "Flowlet::start() must not emit records (load/process/finish only)");
+    }
+  }
+
+  const GraphEdge& out_edge(uint32_t port) const {
+    const GraphNode& node = job_->graph->flowlet(fid_);
+    return job_->graph->edge(node.out_edges.at(port));
+  }
+
+  void add_record(EdgeId edge, NodeId dst, std::string_view key,
+                  std::string_view value) {
+    auto [it, inserted] = builders_.try_emplace({edge, dst}, job_->epoch, edge);
+    it->second.add(key, value);
+    rt_->metrics().counter("engine.records")->inc();
+    if (it->second.payload_bytes() >= rt_->config_.bin_size_bytes) {
+      flush_builder(dst, it->second);
+    }
+  }
+
+  void flush_builder(NodeId dst, BinBuilder& builder) {
+    if (builder.empty()) return;
+    std::string bin = builder.take();
+    rt_->metrics().counter("engine.bins")->inc();
+    rt_->metrics().counter("engine.bin_bytes")->add(bin.size());
+    rt_->enqueue_out(dst, net::msg_type::kEngineBin, std::move(bin));
+  }
+
+  // Sender-side combining: fold into the node-shared combine table for this
+  // edge. The table is shared by all worker threads of the node (one engine
+  // instance per node), so updates pay the stripe's serialized-update cost,
+  // charged in batch at task end.
+  void combine_emit(const GraphEdge& edge, std::string_view key,
+                    std::string_view value) {
+    internal::FlowletState& src_state = *job_->flowlets[edge.src];
+    internal::PartialTable* table = src_state.combine_tables.at(edge.id).get();
+    auto* dst_flowlet = static_cast<PartialReduceFlowlet*>(
+        job_->flowlets[edge.dst]->instance.get());
+
+    const uint32_t si =
+        stripe_of(key, static_cast<uint32_t>(table->stripes.size()));
+    internal::PartialTable::Stripe& stripe = table->stripes[si];
+    bool overflow = false;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      std::string& acc = stripe.acc[std::string(key)];
+      dst_flowlet->fold(key, value, acc);
+      overflow = stripe.acc.size() > kCombineStripeKeys;
+    }
+    rt_->metrics().counter("engine.combine_folds")->inc();
+    combine_gate_debt_[{edge.id, si}] += 1;
+    if (overflow) {
+      charge_combine_gates();
+      rt_->flush_combine_stripe(*job_, edge.id, si);
+    }
+  }
+
+  void charge_combine_gates() {
+    for (auto& [key, count] : combine_gate_debt_) {
+      internal::FlowletState& src_state =
+          *job_->flowlets[job_->graph->edge(key.first).src];
+      src_state.combine_tables.at(key.first)->stripes[key.second].gate->charge(count);
+    }
+    combine_gate_debt_.clear();
+  }
+
+  static constexpr size_t kCombineStripeKeys = 4096;
+
+  NodeRuntime* rt_;
+  internal::JobState* job_;
+  FlowletId fid_;
+  bool allow_emit_;
+  std::map<std::pair<EdgeId, NodeId>, BinBuilder> builders_;
+  std::map<std::pair<EdgeId, uint32_t>, uint64_t> combine_gate_debt_;
+};
+
+// ---------------------------------------------------------------------------
+// NodeRuntime
+// ---------------------------------------------------------------------------
+
+NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
+                         const EngineConfig& config)
+    : engine_(engine), node_(node), config_(config) {
+  node_->router().register_type(
+      net::msg_type::kEngineBin,
+      [this](net::Message&& m) { on_bin_message(std::move(m)); });
+  node_->router().register_type(
+      net::msg_type::kEngineControl,
+      [this](net::Message&& m) { on_control_message(std::move(m)); });
+  const uint32_t workers = engine_->cluster().config().threads_per_node;
+  workers_.reserve(workers);
+  for (uint32_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  sender_ = std::thread([this] { sender_loop(); });
+}
+
+NodeRuntime::~NodeRuntime() {
+  stopping_.store(true);
+  sched_cv_.notify_all();
+  sched_space_.notify_all();
+  out_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  if (sender_.joinable()) sender_.join();
+}
+
+void NodeRuntime::attach_job(std::shared_ptr<internal::JobState> job) {
+  std::lock_guard<std::mutex> lock(job_mu_);
+  job_ = std::move(job);
+  staged_bytes_.store(0);
+  streaming_stop_.store(false);
+}
+
+std::shared_ptr<internal::JobState> NodeRuntime::current_job() const {
+  std::lock_guard<std::mutex> lock(job_mu_);
+  return job_;
+}
+
+void NodeRuntime::activate_job(
+    const std::map<FlowletId, std::vector<InputSplit>>& my_splits) {
+  auto job = current_job();
+  internal::JobState& js = *job;
+
+  // start() for every flowlet instance, inline and emission-free (enforced).
+  for (FlowletId f = 0; f < js.flowlets.size(); ++f) {
+    TaskContext ctx(this, &js, f, /*allow_emit=*/false);
+    js.flowlets[f]->instance->start(ctx);
+  }
+
+  // Record split counts first so completions can't race the last chunk.
+  for (const auto& [loader, split_list] : my_splits) {
+    js.flowlets[loader]->splits_outstanding.store(split_list.size());
+  }
+  for (const auto& [loader, split_list] : my_splits) {
+    for (const InputSplit& split : split_list) {
+      const FlowletId loader_id = loader;
+      submit_task([this, loader_id, split] { run_split_chunk(loader_id, split, 0); });
+    }
+  }
+
+  // Flowlets with no upstream channels and no splits complete immediately.
+  for (FlowletId f = 0; f < js.flowlets.size(); ++f) {
+    maybe_schedule_finish(f);
+  }
+}
+
+// --- ingress ---------------------------------------------------------------
+
+void NodeRuntime::on_bin_message(net::Message&& msg) {
+  auto job = current_job();
+  if (!job) return;
+  // Parse only the header to account the pending bin (cheap).
+  try {
+    BinView view(msg.payload);
+    if (view.job_epoch() != job->epoch) return;  // stale job traffic
+    const GraphEdge& edge = job->graph->edge(view.edge());
+    job->flowlets[edge.dst]->pending_bins.fetch_add(1);
+  } catch (const serde::DecodeError& e) {
+    HLOG_ERROR << "node " << node_id() << " malformed bin: " << e.what();
+    return;
+  }
+  QueueItem item;
+  item.src = msg.src;
+  item.payload = std::move(msg.payload);
+  enqueue_item(std::move(item));
+}
+
+void NodeRuntime::on_control_message(net::Message&& msg) {
+  QueueItem item;
+  item.is_control = true;
+  item.src = msg.src;
+  item.payload = std::move(msg.payload);
+  enqueue_item(std::move(item));
+}
+
+void NodeRuntime::enqueue_item(QueueItem&& item) {
+  const uint64_t bytes = item.payload.size();
+  {
+    std::unique_lock<std::mutex> lock(sched_mu_);
+    // Receiver-side backpressure: the delivery thread (our only caller)
+    // blocks when the queue is over budget, which in turn fills the
+    // transport ingress and stalls remote senders. Control items ride the
+    // same queue to preserve per-sender FIFO.
+    sched_space_.wait(lock, [&] {
+      return stopping_.load() || bin_queue_bytes_ < config_.bin_queue_bytes;
+    });
+    if (stopping_.load()) return;
+    bin_queue_bytes_ += bytes;
+    bin_queue_.push_back(std::move(item));
+  }
+  sched_cv_.notify_one();
+}
+
+// --- scheduler ---------------------------------------------------------------
+
+void NodeRuntime::submit_task(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(sched_mu_);
+    task_queue_.push_back(std::move(task));
+  }
+  sched_cv_.notify_one();
+}
+
+void NodeRuntime::defer_task(std::function<void()> task) {
+  // Paper §2: a flow-controlled task "stops the current execution
+  // immediately and will be scheduled in a later time". Re-queue it and let
+  // this worker nap briefly so the outbox can drain.
+  metrics().counter("engine.stalls")->inc();
+  const TimePoint t0 = now();
+  std::this_thread::sleep_for(config_.defer_retry);
+  metrics().counter("engine.stall_ns")->add(
+      static_cast<uint64_t>((now() - t0).count()));
+  submit_task(std::move(task));
+}
+
+void NodeRuntime::worker_loop() {
+  for (;;) {
+    QueueItem item;
+    std::function<void()> task;
+    bool have_item = false;
+    {
+      std::unique_lock<std::mutex> lock(sched_mu_);
+      sched_cv_.wait(lock, [&] {
+        return stopping_.load() || !bin_queue_.empty() || !task_queue_.empty();
+      });
+      if (stopping_.load() && bin_queue_.empty() && task_queue_.empty()) return;
+      // Bins first: draining received data keeps upstream nodes unblocked.
+      if (!bin_queue_.empty()) {
+        item = std::move(bin_queue_.front());
+        bin_queue_.pop_front();
+        bin_queue_bytes_ -= item.payload.size();
+        sched_space_.notify_one();
+        have_item = true;
+      } else {
+        task = std::move(task_queue_.front());
+        task_queue_.pop_front();
+      }
+    }
+    if (have_item) {
+      if (item.is_control) {
+        process_control(item);
+      } else {
+        process_bin(item);
+      }
+    } else {
+      task();
+    }
+  }
+}
+
+void NodeRuntime::process_bin(const QueueItem& item) {
+  auto job = current_job();
+  if (!job) return;
+  BinView view(item.payload);
+  if (view.job_epoch() != job->epoch) return;
+  const GraphEdge& edge = job->graph->edge(view.edge());
+  internal::FlowletState& fs = *job->flowlets[edge.dst];
+
+  switch (fs.kind) {
+    case FlowletKind::kMap: {
+      TaskContext ctx(this, job.get(), edge.dst);
+      auto* map = static_cast<MapFlowlet*>(fs.instance.get());
+      KvPair record;
+      while (view.next(&record)) map->process(record, ctx);
+      break;
+    }
+    case FlowletKind::kPartialReduce:
+      fold_partial_bin(fs, view);
+      break;
+    case FlowletKind::kReduce:
+      stage_reduce_bin(edge.dst, fs, view);
+      break;
+    case FlowletKind::kLoader:
+      HLOG_ERROR << "bin routed to loader flowlet " << edge.dst;
+      break;
+  }
+  fs.pending_bins.fetch_sub(1);
+  maybe_schedule_finish(edge.dst);
+}
+
+void NodeRuntime::process_control(const QueueItem& item) {
+  auto job = current_job();
+  if (!job) return;
+  serde::Reader r(item.payload);
+  const uint64_t epoch = r.get_varint();
+  if (epoch != job->epoch) return;
+  const uint64_t kind = r.get_varint();
+  const auto flowlet = static_cast<FlowletId>(r.get_varint());
+  if (kind != kCtlComplete) return;
+
+  // The completed flowlet is the *source*; each distinct downstream flowlet
+  // gains one completed channel (per sending node).
+  const GraphNode& src_node = job->graph->flowlet(flowlet);
+  std::vector<FlowletId> seen;
+  for (EdgeId eid : src_node.out_edges) {
+    const FlowletId dst = job->graph->edge(eid).dst;
+    if (std::find(seen.begin(), seen.end(), dst) != seen.end()) continue;
+    seen.push_back(dst);
+    job->flowlets[dst]->channels_done.fetch_add(1);
+    maybe_schedule_finish(dst);
+  }
+}
+
+// --- loader path -------------------------------------------------------------
+
+void NodeRuntime::run_split_chunk(FlowletId loader, const InputSplit& split,
+                                  uint64_t cursor) {
+  auto job = current_job();
+  if (!job) return;
+
+  if (config_.flow_control_enabled && backpressured()) {
+    defer_task([this, loader, split, cursor] { run_split_chunk(loader, split, cursor); });
+    return;
+  }
+
+  internal::FlowletState& fs = *job->flowlets[loader];
+  auto* ld = static_cast<LoaderFlowlet*>(fs.instance.get());
+  uint64_t cur = cursor;
+  bool more = false;
+  {
+    TaskContext ctx(this, job.get(), loader);
+    more = ld->load_chunk(split, &cur, ctx);
+  }
+  if (more) {
+    submit_task([this, loader, split, cursor = cur] {
+      run_split_chunk(loader, split, cursor);
+    });
+    return;
+  }
+  if (fs.splits_outstanding.fetch_sub(1) == 1) {
+    maybe_schedule_finish(loader);
+  }
+}
+
+// --- partial reduce ----------------------------------------------------------
+
+void NodeRuntime::fold_partial_bin(internal::FlowletState& fs, BinView& bin) {
+  auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
+  internal::PartialTable& table = *fs.table;
+  const uint32_t num_stripes = static_cast<uint32_t>(table.stripes.size());
+
+  // Fold record by record under the stripe lock; charge each stripe's
+  // serialized-update gate once per bin (batched cost model).
+  KvPair record;
+  std::vector<uint64_t> per_stripe(num_stripes, 0);
+  while (bin.next(&record)) {
+    const uint32_t si = stripe_of(record.key, num_stripes);
+    internal::PartialTable::Stripe& stripe = table.stripes[si];
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      std::string& acc = stripe.acc[std::string(record.key)];
+      pr->fold(record.key, record.value, acc);
+    }
+    ++per_stripe[si];
+  }
+  uint64_t folds = 0;
+  for (uint32_t si = 0; si < num_stripes; ++si) {
+    if (per_stripe[si] == 0) continue;
+    folds += per_stripe[si];
+    table.stripes[si].gate->charge(per_stripe[si]);
+  }
+  metrics().counter("engine.folds")->add(folds);
+}
+
+// --- reduce staging / firing ---------------------------------------------
+
+void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs,
+                                   BinView& bin) {
+  KvPair record;
+  while (bin.next(&record)) {
+    const uint32_t si = stage_of(record.key, config_.reduce_subpartitions);
+    internal::ReduceStage& stage = *fs.stages[si];
+    uint64_t spill_bytes = 0;
+    std::vector<std::pair<std::string, std::string>> to_spill;
+    std::string spill_file;
+    {
+      std::lock_guard<std::mutex> lock(stage.mu);
+      stage.records.emplace_back(std::string(record.key), std::string(record.value));
+      const uint64_t rec_bytes = record.key.size() + record.value.size() + 16;
+      stage.bytes += rec_bytes;
+      staged_bytes_.fetch_add(rec_bytes);
+      const uint64_t min_spill =
+          config_.memory_budget_bytes / (4ull * std::max(1u, config_.reduce_subpartitions));
+      if (staged_bytes_.load() > config_.memory_budget_bytes &&
+          stage.bytes >= min_spill) {
+        // Spill this stage: move its records out and write a sorted run.
+        to_spill.swap(stage.records);
+        spill_bytes = stage.bytes;
+        stage.bytes = 0;
+        spill_file = spill_path(flowlet, si, stage.next_spill++);
+        stage.spill_paths.push_back(spill_file);
+      }
+    }
+    if (!to_spill.empty()) {
+      staged_bytes_.fetch_sub(spill_bytes);
+      std::stable_sort(to_spill.begin(), to_spill.end(),
+                       [](const auto& a, const auto& b) { return a.first < b.first; });
+      storage::RunWriter writer(&node_->store(), spill_file);
+      for (const auto& [k, v] : to_spill) writer.add(k, v);
+      const uint64_t written = writer.close();
+      metrics().counter("engine.spills")->inc();
+      metrics().counter("engine.spill_bytes")->add(written);
+    }
+  }
+}
+
+void NodeRuntime::fire_reduce(FlowletId flowlet) {
+  auto job = current_job();
+  internal::FlowletState& fs = *job->flowlets[flowlet];
+  const uint32_t stages = std::max(1u, config_.reduce_subpartitions);
+  fs.reduce_tasks_outstanding.store(stages);
+  for (uint32_t si = 0; si < stages; ++si) {
+    submit_task([this, flowlet, si] { run_reduce_stage(flowlet, si); });
+  }
+}
+
+void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index) {
+  auto job = current_job();
+  internal::FlowletState& fs = *job->flowlets[flowlet];
+  internal::ReduceStage& stage = *fs.stages[stage_index];
+  auto* red = static_cast<ReduceFlowlet*>(fs.instance.get());
+
+  // No staging lock needed: every bin was staged (upstream complete) before
+  // the reduce fires.
+  std::stable_sort(stage.records.begin(), stage.records.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  {
+    TaskContext ctx(this, job.get(), flowlet);
+
+    // Merge in-memory records with any spilled sorted runs, group by key,
+    // and hand each group to reduce().
+    struct Source {
+      std::unique_ptr<storage::RunReader> reader;  // null => memory source
+      size_t mem_pos = 0;
+      std::string_view key, value;
+      bool done = false;
+    };
+    std::vector<Source> sources;
+    sources.reserve(stage.spill_paths.size() + 1);
+    for (const std::string& path : stage.spill_paths) {
+      Source s;
+      s.reader = std::make_unique<storage::RunReader>(&node_->store(), path);
+      sources.push_back(std::move(s));
+    }
+    sources.emplace_back();  // in-memory source, last for merge stability
+
+    auto advance = [&](Source& s) {
+      if (s.reader) {
+        s.done = !s.reader->next(&s.key, &s.value);
+      } else if (s.mem_pos < stage.records.size()) {
+        s.key = stage.records[s.mem_pos].first;
+        s.value = stage.records[s.mem_pos].second;
+        ++s.mem_pos;
+      } else {
+        s.done = true;
+      }
+    };
+    for (auto& s : sources) advance(s);
+
+    std::string current_key;
+    std::vector<std::string_view> values;
+    bool have_group = false;
+    auto flush_group = [&] {
+      if (have_group) {
+        red->reduce(current_key, values, ctx);
+        values.clear();
+        have_group = false;
+      }
+    };
+
+    for (;;) {
+      Source* best = nullptr;
+      for (auto& s : sources) {
+        if (s.done) continue;
+        if (best == nullptr || s.key < best->key) best = &s;
+      }
+      if (best == nullptr) break;
+      if (!have_group || best->key != current_key) {
+        flush_group();
+        current_key.assign(best->key);
+        have_group = true;
+      }
+      values.push_back(best->value);
+      advance(*best);
+    }
+    flush_group();
+  }
+
+  // Release staged memory.
+  staged_bytes_.fetch_sub(stage.bytes);
+  stage.bytes = 0;
+  stage.records.clear();
+  stage.records.shrink_to_fit();
+  for (const std::string& path : stage.spill_paths) {
+    (void)node_->store().remove(path);
+  }
+  stage.spill_paths.clear();
+
+  if (fs.reduce_tasks_outstanding.fetch_sub(1) == 1) {
+    submit_task([this, flowlet] { run_finish(flowlet); });
+  }
+}
+
+// --- completion --------------------------------------------------------------
+
+void NodeRuntime::maybe_schedule_finish(FlowletId flowlet) {
+  auto job = current_job();
+  if (!job) return;
+  internal::FlowletState& fs = *job->flowlets[flowlet];
+  if (fs.channels_done.load() < fs.channels_total) return;
+  if (fs.pending_bins.load() != 0) return;
+  if (fs.kind == FlowletKind::kLoader && fs.splits_outstanding.load() != 0) return;
+  if (fs.finish_scheduled.exchange(true)) return;
+
+  if (fs.kind == FlowletKind::kReduce) {
+    fire_reduce(flowlet);  // run_finish follows after the last stage task
+  } else {
+    submit_task([this, flowlet] { run_finish(flowlet); });
+  }
+}
+
+void NodeRuntime::run_finish(FlowletId flowlet) {
+  auto job = current_job();
+  internal::FlowletState& fs = *job->flowlets[flowlet];
+
+  {
+    TaskContext ctx(this, job.get(), flowlet);
+    if (fs.kind == FlowletKind::kPartialReduce) {
+      // Emit accumulated results before the user finish() hook (paper §2:
+      // partial reduce outputs only on upstream completion).
+      auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
+      for (auto& stripe : fs.table->stripes) {
+        std::lock_guard<std::mutex> lock(stripe.mu);
+        for (auto& [key, acc] : stripe.acc) pr->emit_result(key, acc, ctx);
+        stripe.acc.clear();
+      }
+    }
+    fs.instance->finish(ctx);
+  }
+
+  // Flush sender-side combine tables of this flowlet's combine out-edges
+  // (after finish() so finish-time emissions are combined too).
+  const GraphNode& gnode = job->graph->flowlet(flowlet);
+  for (EdgeId eid : gnode.out_edges) {
+    if (!job->graph->edge(eid).options.combine) continue;
+    internal::PartialTable& table = *fs.combine_tables.at(eid);
+    for (uint32_t si = 0; si < table.stripes.size(); ++si) {
+      flush_combine_stripe(*job, eid, si);
+    }
+  }
+
+  flowlet_locally_complete(flowlet);
+}
+
+void NodeRuntime::flush_combine_stripe(internal::JobState& job, EdgeId edge_id,
+                                       uint32_t stripe_index) {
+  const GraphEdge& edge = job.graph->edge(edge_id);
+  internal::PartialTable::Stripe& stripe =
+      job.flowlets[edge.src]->combine_tables.at(edge_id)->stripes[stripe_index];
+
+  std::unordered_map<std::string, std::string> drained;
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    drained.swap(stripe.acc);
+  }
+  if (drained.empty()) return;
+
+  std::map<NodeId, BinBuilder> builders;
+  auto send = [&](NodeId dst, BinBuilder& builder) {
+    std::string bin = builder.take();
+    metrics().counter("engine.bins")->inc();
+    metrics().counter("engine.bin_bytes")->add(bin.size());
+    enqueue_out(dst, net::msg_type::kEngineBin, std::move(bin));
+  };
+  for (const auto& [key, acc] : drained) {
+    const NodeId dst = partition_of(key, engine_->cluster().size());
+    auto [it, inserted] = builders.try_emplace(dst, job.epoch, edge_id);
+    it->second.add(key, acc);
+    if (it->second.payload_bytes() >= config_.bin_size_bytes) send(dst, it->second);
+  }
+  for (auto& [dst, builder] : builders) {
+    if (!builder.empty()) send(dst, builder);
+  }
+}
+
+void NodeRuntime::flowlet_locally_complete(FlowletId flowlet) {
+  auto job = current_job();
+  internal::FlowletState& fs = *job->flowlets[flowlet];
+  fs.complete.store(true);
+  broadcast_complete(flowlet);
+  const uint32_t done = job->flowlets_complete.fetch_add(1) + 1;
+  if (done == job->flowlets.size() && !job->done_signaled.exchange(true)) {
+    engine_->node_job_done(node_id());
+  }
+}
+
+void NodeRuntime::broadcast_complete(FlowletId flowlet) {
+  auto job = current_job();
+  ByteBuffer buf;
+  serde::Writer w(buf);
+  w.put_varint(job->epoch);
+  w.put_varint(kCtlComplete);
+  w.put_varint(flowlet);
+  std::string payload(buf.view());
+  for (uint32_t n = 0; n < engine_->cluster().size(); ++n) {
+    enqueue_out(n, net::msg_type::kEngineControl, payload);
+  }
+}
+
+// --- streaming -----------------------------------------------------------
+
+void NodeRuntime::flush_window(FlowletId flowlet) {
+  auto job = current_job();
+  if (!job) return;
+  internal::FlowletState& fs = *job->flowlets[flowlet];
+  if (fs.kind != FlowletKind::kPartialReduce || fs.complete.load() ||
+      fs.finish_scheduled.load()) {
+    return;
+  }
+  auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
+  TaskContext ctx(this, job.get(), flowlet);
+  for (auto& stripe : fs.table->stripes) {
+    std::unordered_map<std::string, std::string> drained;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      drained.swap(stripe.acc);
+    }
+    for (auto& [key, acc] : drained) pr->emit_result(key, acc, ctx);
+  }
+}
+
+// --- egress --------------------------------------------------------------
+
+void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) {
+  outbox_bytes_.fetch_add(payload.size());
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+    outbox_.push_back(OutMsg{dst, type, std::move(payload)});
+  }
+  out_cv_.notify_one();
+}
+
+void NodeRuntime::sender_loop() {
+  for (;;) {
+    OutMsg msg;
+    {
+      std::unique_lock<std::mutex> lock(out_mu_);
+      out_cv_.wait(lock, [&] { return stopping_.load() || !outbox_.empty(); });
+      if (outbox_.empty()) return;  // stopping and drained
+      msg = std::move(outbox_.front());
+      outbox_.pop_front();
+    }
+    const uint64_t size = msg.payload.size();
+    node_->router().endpoint()->send(msg.dst, msg.type, std::move(msg.payload));
+    outbox_bytes_.fetch_sub(size);
+  }
+}
+
+bool NodeRuntime::backpressured() const {
+  return outbox_bytes_.load(std::memory_order_relaxed) >
+         config_.flow_control_high_bytes;
+}
+
+std::string NodeRuntime::spill_path(FlowletId flowlet, uint32_t stage,
+                                    uint64_t n) const {
+  auto job = current_job();
+  return "engine/spill/e" + std::to_string(job ? job->epoch : 0) + "/f" +
+         std::to_string(flowlet) + "/s" + std::to_string(stage) + "/r" +
+         std::to_string(n);
+}
+
+}  // namespace hamr::engine

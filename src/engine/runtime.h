@@ -1,0 +1,211 @@
+// NodeRuntime: HAMR's per-node dataflow runtime (paper §2, Fig. 2).
+//
+// Each node holds the WHOLE flowlet graph (contrast with Dryad subgraphs),
+// a worker thread pool, and a bin queue. Scheduling is event-driven:
+//   * bins arriving for map/partial-reduce flowlets become Ready work;
+//   * reduce flowlets stage incoming bins (spilling beyond the memory
+//     budget) and fire only after the completion message has propagated
+//     from every upstream flowlet instance on every node;
+//   * loader splits are processed in chunks, deferred under flow control.
+//
+// Completion protocol: a flowlet that has finished on a node broadcasts a
+// COMPLETE control message through the same per-channel FIFO path as its
+// data bins, so "complete received" implies "all bins received" per sender.
+//
+// Flow control: each node has a single sender thread draining an outbox; the
+// outbox byte count is the backpressure probe. Loader chunks (and any other
+// task checking backpressured()) park and reschedule while it is high, and
+// the transport's bounded ingress stalls the sender thread itself when a
+// receiver falls behind - the end-to-end analog of the paper's "output bin
+// buffer full" rule.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/metrics.h"
+#include "engine/config.h"
+#include "engine/graph.h"
+#include "engine/rate_gate.h"
+#include "engine/split.h"
+
+namespace hamr::engine {
+
+class Engine;
+class TaskContext;
+
+namespace internal {
+
+// Reduce-input staging for one sub-partition of a node's key range.
+struct ReduceStage {
+  std::mutex mu;
+  std::vector<std::pair<std::string, std::string>> records;
+  uint64_t bytes = 0;
+  std::vector<std::string> spill_paths;
+  uint64_t next_spill = 0;
+};
+
+// Node-shared partial-reduce accumulator table, striped. Each stripe models
+// one contended shared-variable set (see RateGate).
+struct PartialTable {
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::string, std::string> acc;
+    std::unique_ptr<RateGate> gate;
+  };
+  // deque: stripes are immovable (mutex member) and deque constructs them in
+  // place without relocation.
+  std::deque<Stripe> stripes;
+};
+
+// Per-(node, flowlet) state for one job.
+struct FlowletState {
+  std::unique_ptr<Flowlet> instance;
+  FlowletKind kind = FlowletKind::kMap;
+  // Bins enqueued locally for this flowlet but not yet fully processed.
+  std::atomic<uint64_t> pending_bins{0};
+  // Channels = one per (distinct upstream flowlet, node). All must complete
+  // before this flowlet can finish locally.
+  uint32_t channels_total = 0;
+  std::atomic<uint32_t> channels_done{0};
+  std::atomic<bool> finish_scheduled{false};
+  std::atomic<bool> complete{false};
+  // Loader bookkeeping.
+  std::atomic<uint64_t> splits_outstanding{0};
+  // Reduce staging (kind == kReduce), one per sub-partition.
+  std::vector<std::unique_ptr<ReduceStage>> stages;
+  std::atomic<uint32_t> reduce_tasks_outstanding{0};
+  // Partial-reduce accumulators (kind == kPartialReduce).
+  std::unique_ptr<PartialTable> table;
+  // Sender-side combine tables for this flowlet's combine out-edges.
+  std::map<EdgeId, std::unique_ptr<PartialTable>> combine_tables;
+};
+
+// One job's per-node state. Built by the Engine, owned jointly by the
+// runtime and in-flight tasks via shared_ptr.
+struct JobState {
+  uint64_t epoch = 0;
+  // Shared copy: completion broadcasts from other nodes can still be in
+  // flight after the driver's run() returns, so the graph must outlive the
+  // caller's stack frame.
+  std::shared_ptr<const FlowletGraph> graph;
+  std::vector<std::unique_ptr<FlowletState>> flowlets;
+  std::atomic<uint32_t> flowlets_complete{0};
+  std::atomic<bool> done_signaled{false};
+};
+
+}  // namespace internal
+
+// The per-node runtime. Constructed once per Engine and reused across jobs.
+class NodeRuntime {
+ public:
+  NodeRuntime(Engine* engine, cluster::Node* node, const EngineConfig& config);
+  ~NodeRuntime();
+
+  NodeRuntime(const NodeRuntime&) = delete;
+  NodeRuntime& operator=(const NodeRuntime&) = delete;
+
+  uint32_t node_id() const { return node_->id(); }
+  cluster::Node& node() { return *node_; }
+  Metrics& metrics() { return node_->metrics(); }
+
+ private:
+  friend class Engine;
+  friend class TaskContext;
+
+  struct QueueItem {
+    bool is_control = false;
+    uint32_t src = 0;
+    std::string payload;
+  };
+
+  // --- job lifecycle (driven by Engine) ---
+  // Phase 1 on every node: publish the job state so incoming bins resolve.
+  void attach_job(std::shared_ptr<internal::JobState> job);
+  // Phase 2: run start() hooks and schedule this node's loader splits.
+  void activate_job(const std::map<FlowletId, std::vector<InputSplit>>& my_splits);
+  void request_stream_stop() { streaming_stop_.store(true); }
+  std::shared_ptr<internal::JobState> current_job() const;
+
+  // --- ingress (called on transport delivery thread) ---
+  void on_bin_message(net::Message&& msg);
+  void on_control_message(net::Message&& msg);
+  void enqueue_item(QueueItem&& item);
+
+  // --- worker-side processing ---
+  void worker_loop();
+  void submit_task(std::function<void()> task);
+  void defer_task(std::function<void()> task);
+  void process_bin(const QueueItem& item);
+  void process_control(const QueueItem& item);
+  void run_split_chunk(FlowletId loader, const InputSplit& split, uint64_t cursor);
+  void stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs, BinView& bin);
+  void fold_partial_bin(internal::FlowletState& fs, BinView& bin);
+  void maybe_schedule_finish(FlowletId flowlet);
+  void run_finish(FlowletId flowlet);
+  void fire_reduce(FlowletId flowlet);
+  void run_reduce_stage(FlowletId flowlet, uint32_t stage_index);
+  void flowlet_locally_complete(FlowletId flowlet);
+  void broadcast_complete(FlowletId flowlet);
+  void flush_combine_stripe(internal::JobState& job, EdgeId edge_id,
+                            uint32_t stripe_index);
+  void flush_window(FlowletId flowlet);  // streaming punctuation
+
+  // --- egress ---
+  void enqueue_out(uint32_t dst, uint32_t type, std::string payload);
+  void sender_loop();
+  bool backpressured() const;
+
+  std::string spill_path(FlowletId flowlet, uint32_t stage, uint64_t n) const;
+
+  Engine* engine_;
+  cluster::Node* node_;
+  EngineConfig config_;
+
+  // Scheduler: a FIFO queue of received items (bins + control; per-sender
+  // FIFO order is what the completion protocol relies on) plus a task queue.
+  // The item queue is unbounded here; end-to-end backpressure comes from the
+  // transport ingress cap and the outbox watermark.
+  std::mutex sched_mu_;
+  std::condition_variable sched_cv_;
+  std::condition_variable sched_space_;  // delivery thread waits for room
+  std::deque<QueueItem> bin_queue_;
+  uint64_t bin_queue_bytes_ = 0;
+  std::deque<std::function<void()>> task_queue_;
+  std::atomic<bool> stopping_{false};
+  std::vector<std::thread> workers_;
+
+  // Egress: unbounded outbox drained by one sender thread; its byte count is
+  // the flow-control probe.
+  std::mutex out_mu_;
+  std::condition_variable out_cv_;
+  struct OutMsg {
+    uint32_t dst;
+    uint32_t type;
+    std::string payload;
+  };
+  std::deque<OutMsg> outbox_;
+  std::atomic<uint64_t> outbox_bytes_{0};
+  std::thread sender_;
+
+  // Reduce staging memory accounting (node-wide).
+  std::atomic<uint64_t> staged_bytes_{0};
+
+  std::shared_ptr<internal::JobState> job_;  // guarded by job_mu_
+  mutable std::mutex job_mu_;
+
+  std::atomic<bool> streaming_stop_{false};
+};
+
+}  // namespace hamr::engine

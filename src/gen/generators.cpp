@@ -1,0 +1,178 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/random.h"
+
+namespace hamr::gen {
+
+namespace {
+
+uint64_t shard_seed(uint64_t base, uint32_t shard) {
+  uint64_t s = base + 0x9e3779b97f4a7c15ULL * (shard + 1);
+  return splitmix64(s);
+}
+
+uint32_t sample_rating(Rng& rng, const double probs[5]) {
+  const double u = rng.next_double();
+  double cum = 0;
+  for (uint32_t r = 0; r < 5; ++r) {
+    cum += probs[r];
+    if (u < cum) return r + 1;
+  }
+  return 5;
+}
+
+}  // namespace
+
+std::string movies_shard(const MoviesSpec& spec, uint32_t shard,
+                         uint32_t num_shards) {
+  const uint64_t target = spec.total_bytes / std::max(1u, num_shards);
+  Rng rng(shard_seed(spec.seed, shard));
+  std::string out;
+  out.reserve(target + 4096);
+  // Movie ids are globally unique across shards (strided).
+  uint64_t movie = shard;
+  char buf[32];
+  while (out.size() < target) {
+    std::snprintf(buf, sizeof(buf), "m%llu:", static_cast<unsigned long long>(movie));
+    out += buf;
+    const uint32_t n = std::max<uint32_t>(
+        1, spec.ratings_per_movie / 2 +
+               static_cast<uint32_t>(rng.next_below(spec.ratings_per_movie)));
+    for (uint32_t i = 0; i < n; ++i) {
+      if (i > 0) out.push_back(',');
+      out.push_back(static_cast<char>('0' + sample_rating(rng, spec.rating_prob)));
+    }
+    out.push_back('\n');
+    movie += num_shards;
+  }
+  return out;
+}
+
+std::string movie_vectors_shard(const MoviesSpec& spec, uint32_t shard,
+                                uint32_t num_shards) {
+  const uint64_t target = spec.total_bytes / std::max(1u, num_shards);
+  Rng rng(shard_seed(spec.seed ^ 0x6d766563, shard));
+  std::string out;
+  out.reserve(target + 4096);
+  uint64_t movie = shard;
+  char buf[48];
+  while (out.size() < target) {
+    std::snprintf(buf, sizeof(buf), "m%llu:", static_cast<unsigned long long>(movie));
+    out += buf;
+    const uint32_t n = std::max<uint32_t>(
+        1, spec.ratings_per_movie / 2 +
+               static_cast<uint32_t>(rng.next_below(spec.ratings_per_movie)));
+    // Strictly increasing user ids: sample gaps.
+    uint64_t user = rng.next_below(std::max<uint32_t>(1, spec.num_users / (n + 1)) + 1);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (i > 0) out.push_back(',');
+      std::snprintf(buf, sizeof(buf), "u%llu_%u",
+                    static_cast<unsigned long long>(user % spec.num_users),
+                    sample_rating(rng, spec.rating_prob));
+      out += buf;
+      user += 1 + rng.next_below(std::max<uint32_t>(1, spec.num_users / (n + 1)));
+    }
+    out.push_back('\n');
+    movie += num_shards;
+  }
+  return out;
+}
+
+std::string text_shard(const TextSpec& spec, uint32_t shard, uint32_t num_shards) {
+  const uint64_t target = spec.total_bytes / std::max(1u, num_shards);
+  Rng rng(shard_seed(spec.seed, shard));
+  Zipf zipf(spec.vocab, spec.theta);
+  std::string out;
+  out.reserve(target + 4096);
+  char buf[24];
+  while (out.size() < target) {
+    for (uint32_t i = 0; i < spec.words_per_line; ++i) {
+      std::snprintf(buf, sizeof(buf), "w%llu",
+                    static_cast<unsigned long long>(zipf.sample(rng)));
+      if (i > 0) out.push_back(' ');
+      out += buf;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string docs_shard(const DocsSpec& spec, uint32_t shard, uint32_t num_shards) {
+  const uint64_t target = spec.total_bytes / std::max(1u, num_shards);
+  Rng rng(shard_seed(spec.seed, shard));
+  Zipf zipf(spec.vocab, spec.theta);
+  std::string out;
+  out.reserve(target + 4096);
+  char buf[32];
+  while (out.size() < target) {
+    std::snprintf(buf, sizeof(buf), "label%llu\t",
+                  static_cast<unsigned long long>(rng.next_below(spec.num_labels)));
+    out += buf;
+    for (uint32_t i = 0; i < spec.words_per_doc; ++i) {
+      std::snprintf(buf, sizeof(buf), "w%llu",
+                    static_cast<unsigned long long>(zipf.sample(rng)));
+      if (i > 0) out.push_back(' ');
+      out += buf;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string web_graph_shard(const WebGraphSpec& spec, uint32_t shard,
+                            uint32_t num_shards) {
+  Rng rng(shard_seed(spec.seed, shard));
+  Zipf zipf(spec.num_pages, spec.theta);
+  const uint64_t shards = std::max(1u, num_shards);
+  const uint64_t edges =
+      spec.num_edges / shards + (shard < spec.num_edges % shards ? 1 : 0);
+  std::string out;
+  out.reserve(edges * 12);
+  char buf[48];
+  for (uint64_t i = 0; i < edges; ++i) {
+    const uint64_t src = rng.next_below(spec.num_pages);
+    uint64_t dst = zipf.sample(rng);  // popular pages attract links
+    if (dst == src) dst = (dst + 1) % spec.num_pages;
+    std::snprintf(buf, sizeof(buf), "%llu %llu\n",
+                  static_cast<unsigned long long>(src),
+                  static_cast<unsigned long long>(dst));
+    out += buf;
+  }
+  return out;
+}
+
+std::string rmat_shard(const RmatSpec& spec, uint32_t shard, uint32_t num_shards) {
+  Rng rng(shard_seed(spec.seed, shard));
+  const uint64_t n = 1ull << spec.scale;
+  const uint64_t shards = std::max(1u, num_shards);
+  const uint64_t edges =
+      spec.num_edges / shards + (shard < spec.num_edges % shards ? 1 : 0);
+  std::string out;
+  out.reserve(edges * 12);
+  char buf[48];
+  for (uint64_t i = 0; i < edges; ++i) {
+    // Recursive-matrix descent.
+    uint64_t row = 0, col = 0;
+    for (uint32_t level = 0; level < spec.scale; ++level) {
+      const double u = rng.next_double();
+      const bool right = u >= spec.a && u < spec.a + spec.b;
+      const bool down = u >= spec.a + spec.b && u < spec.a + spec.b + spec.c;
+      const bool diag = u >= spec.a + spec.b + spec.c;
+      row = (row << 1) | static_cast<uint64_t>(down || diag);
+      col = (col << 1) | static_cast<uint64_t>(right || diag);
+    }
+    if (row == col) col = (col + 1) % n;
+    const uint64_t lo = std::min(row, col);
+    const uint64_t hi = std::max(row, col);
+    std::snprintf(buf, sizeof(buf), "%llu %llu\n",
+                  static_cast<unsigned long long>(lo),
+                  static_cast<unsigned long long>(hi));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace hamr::gen

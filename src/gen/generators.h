@@ -1,0 +1,79 @@
+// Deterministic workload generators for the eight benchmarks (paper §4).
+//
+// Every generator produces text shards (one per cluster node) from an
+// explicit seed, so the HAMR input (node-local files) and the baseline input
+// (one DFS file = concatenated shards) are byte-identical datasets and every
+// run is reproducible.
+//
+// Formats:
+//   movies    : "m<id>:<r1>,<r2>,..."           (PUMA movie rating lines)
+//   text      : "w<zipf> w<zipf> ..."            (Zipfian words, WordCount)
+//   docs      : "label<k>\tw<zipf> w<zipf> ..."  (NaiveBayes training docs)
+//   web graph : "<src> <dst>"                    (Zipfian in-degree edges)
+//   rmat      : "<a> <b>"  a < b                 (undirected R-MAT edges)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hamr::gen {
+
+struct MoviesSpec {
+  uint64_t total_bytes = 1 << 20;  // approximate across all shards
+  uint32_t ratings_per_movie = 64;
+  uint64_t seed = 42;
+  // Rating distribution P(1..5); HistogramRatings' skew comes from here.
+  double rating_prob[5] = {0.10, 0.15, 0.25, 0.35, 0.15};
+  // User-id space for the vector variant (K-Means / Classification lines
+  // "m<id>:u<user>_<rating>,..."; users strictly increasing per line).
+  uint32_t num_users = 2000;
+};
+
+struct TextSpec {
+  uint64_t total_bytes = 1 << 20;
+  uint32_t vocab = 50000;
+  double theta = 0.99;  // Zipf exponent
+  uint32_t words_per_line = 10;
+  uint64_t seed = 43;
+};
+
+struct DocsSpec {
+  uint64_t total_bytes = 1 << 20;
+  uint32_t num_labels = 20;
+  uint32_t vocab = 20000;
+  double theta = 0.99;
+  uint32_t words_per_doc = 50;
+  uint64_t seed = 44;
+};
+
+struct WebGraphSpec {
+  uint64_t num_pages = 4096;
+  uint64_t num_edges = 32768;
+  double theta = 0.8;  // Zipfian in-degree skew
+  uint64_t seed = 45;
+};
+
+struct RmatSpec {
+  uint32_t scale = 9;  // 2^scale vertices
+  uint64_t num_edges = 16384;
+  double a = 0.57, b = 0.19, c = 0.19;  // d = 1-a-b-c
+  uint64_t seed = 46;
+};
+
+// Each function renders shard `shard` of `num_shards` as newline-terminated
+// text. Shards partition the dataset; the same (spec, shard count) always
+// yields the same bytes.
+std::string movies_shard(const MoviesSpec& spec, uint32_t shard, uint32_t num_shards);
+// Vector variant for K-Means / Classification: "m<id>:u<u1>_<r1>,u<u2>_<r2>,..."
+// with user ids strictly increasing within a line (a sparse vector in user
+// space, as in the PUMA movie dataset).
+std::string movie_vectors_shard(const MoviesSpec& spec, uint32_t shard,
+                                uint32_t num_shards);
+std::string text_shard(const TextSpec& spec, uint32_t shard, uint32_t num_shards);
+std::string docs_shard(const DocsSpec& spec, uint32_t shard, uint32_t num_shards);
+std::string web_graph_shard(const WebGraphSpec& spec, uint32_t shard,
+                            uint32_t num_shards);
+std::string rmat_shard(const RmatSpec& spec, uint32_t shard, uint32_t num_shards);
+
+}  // namespace hamr::gen

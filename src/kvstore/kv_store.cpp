@@ -1,0 +1,199 @@
+#include "kvstore/kv_store.h"
+
+#include "common/hash.h"
+#include "serde/serde.h"
+
+namespace hamr::kv {
+
+LocalStore::LocalStore(size_t num_shards) : shards_(num_shards == 0 ? 1 : num_shards) {}
+
+LocalStore::Shard& LocalStore::shard_for(std::string_view key) {
+  return shards_[hash_bytes(key) % shards_.size()];
+}
+
+const LocalStore::Shard& LocalStore::shard_for(std::string_view key) const {
+  return shards_[hash_bytes(key) % shards_.size()];
+}
+
+void LocalStore::put(std::string_view key, std::string_view value) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.map[std::string(key)] = std::string(value);
+}
+
+Result<std::string> LocalStore::get(std::string_view key) const {
+  const Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(std::string(key));
+  if (it == s.map.end()) return Status::NotFound("kv key");
+  return it->second;
+}
+
+void LocalStore::append(std::string_view key, std::string_view value) {
+  Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.map[std::string(key)] += encode_list_element(value);
+}
+
+std::vector<std::string> LocalStore::get_list(std::string_view key) const {
+  const Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.map.find(std::string(key));
+  if (it == s.map.end()) return {};
+  return decode_list(it->second);
+}
+
+bool LocalStore::contains(std::string_view key) const {
+  const Shard& s = shard_for(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.map.count(std::string(key)) > 0;
+}
+
+void LocalStore::clear_namespace(std::string_view prefix) {
+  for (auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto it = s.map.begin(); it != s.map.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        it = s.map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void LocalStore::for_each_prefix(
+    std::string_view prefix,
+    const std::function<void(const std::string&, const std::string&)>& fn) const {
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [key, value] : s.map) {
+      if (key.compare(0, prefix.size(), prefix) == 0) fn(key, value);
+    }
+  }
+}
+
+uint64_t LocalStore::size() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+uint64_t LocalStore::bytes() const {
+  uint64_t n = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [key, value] : s.map) n += key.size() + value.size();
+  }
+  return n;
+}
+
+std::string encode_list_element(std::string_view value) {
+  ByteBuffer buf;
+  serde::Writer w(buf);
+  w.put_bytes(value);
+  return std::string(buf.view());
+}
+
+std::vector<std::string> decode_list(std::string_view packed) {
+  std::vector<std::string> out;
+  serde::Reader r(packed);
+  while (!r.at_end()) out.emplace_back(r.get_bytes());
+  return out;
+}
+
+namespace {
+
+// request := varint key_len | key | value
+std::string pack_kv(std::string_view key, std::string_view value) {
+  ByteBuffer buf;
+  serde::Writer w(buf);
+  w.put_bytes(key);
+  buf.append(value);
+  return std::string(buf.view());
+}
+
+}  // namespace
+
+KvStore::KvStore(cluster::Cluster& cluster) : cluster_(cluster) {
+  stores_.reserve(cluster_.size());
+  for (uint32_t i = 0; i < cluster_.size(); ++i) {
+    stores_.push_back(std::make_unique<LocalStore>());
+    LocalStore* store = stores_.back().get();
+    net::Rpc& rpc = cluster_.node(i).rpc();
+    rpc.register_method(rpc_id::kPut, [store](NodeId, std::string_view arg) {
+      serde::Reader r(arg);
+      const std::string_view key = r.get_bytes();
+      store->put(key, arg.substr(r.position()));
+      return std::string();
+    });
+    rpc.register_method(rpc_id::kGet, [store](NodeId, std::string_view arg) {
+      auto result = store->get(arg);
+      result.status().ExpectOk();
+      return std::move(result).value();
+    });
+    rpc.register_method(rpc_id::kAppend, [store](NodeId, std::string_view arg) {
+      serde::Reader r(arg);
+      const std::string_view key = r.get_bytes();
+      store->append(key, arg.substr(r.position()));
+      return std::string();
+    });
+    rpc.register_method(rpc_id::kGetList, [store](NodeId, std::string_view arg) {
+      // Response is the raw packed list; the client decodes.
+      auto result = store->get(arg);
+      return result.ok() ? std::move(result).value() : std::string();
+    });
+    rpc.register_method(rpc_id::kClearNamespace, [store](NodeId, std::string_view arg) {
+      store->clear_namespace(arg);
+      return std::string();
+    });
+  }
+}
+
+NodeId KvStore::owner_of(std::string_view key) const {
+  return partition_of(key, cluster_.size());
+}
+
+void KvStore::put(NodeId from, std::string_view key, std::string_view value) {
+  const NodeId owner = owner_of(key);
+  if (owner == from) {
+    stores_[owner]->put(key, value);
+    return;
+  }
+  cluster_.node(from).rpc().call_sync(owner, rpc_id::kPut, pack_kv(key, value))
+      .status().ExpectOk();
+}
+
+Result<std::string> KvStore::get(NodeId from, std::string_view key) {
+  const NodeId owner = owner_of(key);
+  if (owner == from) return stores_[owner]->get(key);
+  return cluster_.node(from).rpc().call_sync(owner, rpc_id::kGet, std::string(key));
+}
+
+void KvStore::append(NodeId from, std::string_view key, std::string_view value) {
+  const NodeId owner = owner_of(key);
+  if (owner == from) {
+    stores_[owner]->append(key, value);
+    return;
+  }
+  cluster_.node(from).rpc().call_sync(owner, rpc_id::kAppend, pack_kv(key, value))
+      .status().ExpectOk();
+}
+
+std::vector<std::string> KvStore::get_list(NodeId from, std::string_view key) {
+  const NodeId owner = owner_of(key);
+  if (owner == from) return stores_[owner]->get_list(key);
+  auto result = cluster_.node(from).rpc().call_sync(owner, rpc_id::kGetList,
+                                                    std::string(key));
+  result.status().ExpectOk();
+  return decode_list(result.value());
+}
+
+void KvStore::clear_namespace(std::string_view prefix) {
+  for (auto& store : stores_) store->clear_namespace(prefix);
+}
+
+}  // namespace hamr::kv

@@ -1,0 +1,103 @@
+// Distributed in-memory key-value store.
+//
+// The paper (§5.2, §7) describes this component: one engine instance per node
+// (unlike Hadoop's one JVM per task) means all tasks on a node share memory,
+// and cross-phase state - K-Cliques' relationship graph, PageRank's adjacency
+// lists and ranks - lives in a node-shared store partitioned by key hash.
+//
+// Ownership: key -> partition_of(key, num_nodes). Local accesses (the common
+// case: flowlet tasks process exactly the keys their node owns) hit the
+// in-memory shards directly; remote accesses go through RPC so their bytes
+// traverse the modeled network.
+//
+// Values are byte strings; append() builds multi-value entries retrievable
+// with get_list() (each element length-prefixed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+
+namespace hamr::kv {
+
+using cluster::NodeId;
+
+// RPC method ids (kv range: 100-109).
+namespace rpc_id {
+inline constexpr uint32_t kPut = 100;
+inline constexpr uint32_t kGet = 101;
+inline constexpr uint32_t kAppend = 102;
+inline constexpr uint32_t kGetList = 103;
+inline constexpr uint32_t kClearNamespace = 104;
+}  // namespace rpc_id
+
+// One node's shard set. Sharded internally so concurrent tasks on the node
+// don't serialize on a single lock.
+class LocalStore {
+ public:
+  explicit LocalStore(size_t num_shards = 16);
+
+  void put(std::string_view key, std::string_view value);
+  Result<std::string> get(std::string_view key) const;
+  void append(std::string_view key, std::string_view value);
+  std::vector<std::string> get_list(std::string_view key) const;
+  bool contains(std::string_view key) const;
+  void clear_namespace(std::string_view prefix);
+
+  // Iterates all (key, value) pairs with the given prefix. The callback runs
+  // under the shard lock; keep it cheap.
+  void for_each_prefix(std::string_view prefix,
+                       const std::function<void(const std::string&, const std::string&)>& fn) const;
+
+  uint64_t size() const;
+  uint64_t bytes() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::string> map;
+  };
+  Shard& shard_for(std::string_view key);
+  const Shard& shard_for(std::string_view key) const;
+
+  std::vector<Shard> shards_;
+};
+
+// Cluster-wide store: owns one LocalStore per node and registers the RPC
+// methods that serve remote requests.
+class KvStore {
+ public:
+  explicit KvStore(cluster::Cluster& cluster);
+
+  NodeId owner_of(std::string_view key) const;
+
+  // Client-side operations issued from `from` node. Local when owner == from.
+  void put(NodeId from, std::string_view key, std::string_view value);
+  Result<std::string> get(NodeId from, std::string_view key);
+  void append(NodeId from, std::string_view key, std::string_view value);
+  std::vector<std::string> get_list(NodeId from, std::string_view key);
+
+  // Drops every key with the prefix on every node (driver-side housekeeping
+  // between jobs; does not traverse the network model).
+  void clear_namespace(std::string_view prefix);
+
+  LocalStore& local(NodeId node) { return *stores_.at(node); }
+
+ private:
+  cluster::Cluster& cluster_;
+  std::vector<std::unique_ptr<LocalStore>> stores_;
+};
+
+// Encoding helpers for list values (shared with tests).
+std::string encode_list_element(std::string_view value);
+std::vector<std::string> decode_list(std::string_view packed);
+
+}  // namespace hamr::kv

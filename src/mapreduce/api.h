@@ -1,0 +1,79 @@
+// The baseline's user API: classic Hadoop-style MapReduce.
+//
+// This is the comparison system of the paper's evaluation (IDH 3.0 == Apache
+// Hadoop with YARN). The JobRunner reproduces Hadoop's execution shape:
+// per-job startup cost, map tasks with data-local DFS splits, map-side
+// sort/spill/merge through the local disk, an optional combiner at spill
+// time, a hard barrier before reduce, shuffle fetches landing on the reduce
+// side's local disk, a disk-based merge, and job output written to the DFS.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace hamr::mapreduce {
+
+class MrContext {
+ public:
+  virtual ~MrContext() = default;
+  virtual void emit(std::string_view key, std::string_view value) = 0;
+  virtual uint32_t node() const = 0;
+  virtual uint32_t num_nodes() const = 0;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+  // `key` is the line's byte offset rendered in decimal; `value` the line.
+  virtual void map(std::string_view key, std::string_view value, MrContext& ctx) = 0;
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+  virtual void reduce(std::string_view key,
+                      const std::vector<std::string_view>& values,
+                      MrContext& ctx) = 0;
+};
+
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+
+struct MrJobConfig {
+  std::string name = "job";
+  // 0 => one reduce task per node.
+  uint32_t num_reduce_tasks = 0;
+  // Map-side sort buffer; exceeding it triggers a sorted spill to local disk
+  // (Hadoop's io.sort.mb).
+  uint64_t map_sort_buffer_bytes = 1ull * 1024 * 1024;
+  // Per-job overhead: job setup, scheduling, JVM distribution (Hadoop's
+  // dominant cost for short/chained jobs; K-Cliques chains K-1 of these).
+  Duration job_startup_cost = millis(250);
+  // Per-task JVM launch cost (one JVM per task in the baseline, vs one
+  // engine instance per node in HAMR - paper §5.2).
+  Duration task_startup_cost = millis(15);
+  // Apply `combiner` at spill and merge time (Table 3).
+  ReducerFactory combiner;
+  // Hadoop's io.sort.factor: max runs merged at once on the map and reduce
+  // sides; beyond it, intermediate merge files hit the disk again.
+  uint32_t merge_fan_in = 10;
+};
+
+struct MrResult {
+  double wall_seconds = 0;
+  uint32_t map_tasks = 0;
+  uint32_t reduce_tasks = 0;
+  uint64_t map_input_bytes = 0;
+  uint64_t map_output_records = 0;
+  uint64_t spill_bytes = 0;
+  uint64_t shuffle_bytes = 0;
+  uint64_t output_bytes = 0;
+};
+
+}  // namespace hamr::mapreduce

@@ -1,0 +1,59 @@
+// Disk-based MapReduce execution over the simulated cluster (the baseline).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "dfs/mini_dfs.h"
+#include "mapreduce/api.h"
+
+namespace hamr::mapreduce {
+
+// RPC method ids (mapreduce range: 60-69).
+namespace rpc_id {
+inline constexpr uint32_t kFetchSegment = 60;
+}
+
+class JobRunner {
+ public:
+  JobRunner(cluster::Cluster& cluster, dfs::MiniDfs& dfs);
+
+  // Runs one job: map over every block of `input_paths` (data-local when
+  // possible), shuffle, reduce, and write text output files
+  // `<output_path>/part-r-<i>` ("key\tvalue" lines) to the DFS. Blocks until
+  // completion. Chained jobs are sequential run() calls.
+  MrResult run(const MrJobConfig& config, const std::vector<std::string>& input_paths,
+               const std::string& output_path, const MapperFactory& mapper_factory,
+               const ReducerFactory& reducer_factory);
+
+  cluster::Cluster& cluster() { return cluster_; }
+  dfs::MiniDfs& dfs() { return dfs_; }
+
+ private:
+  struct MapTask {
+    uint32_t task_id = 0;
+    uint32_t node = 0;  // where it runs
+    std::string path;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+  };
+
+  struct JobScratch;  // per-run shared state (defined in .cpp)
+
+  void run_map_task(const MrJobConfig& config, JobScratch& job, const MapTask& task,
+                    const MapperFactory& mapper_factory);
+  void run_reduce_task(const MrJobConfig& config, JobScratch& job, uint32_t reduce_id,
+                       const std::string& output_path,
+                       const ReducerFactory& reducer_factory);
+
+  cluster::Cluster& cluster_;
+  dfs::MiniDfs& dfs_;
+  std::atomic<uint64_t> job_seq_{0};
+};
+
+}  // namespace hamr::mapreduce

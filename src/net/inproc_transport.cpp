@@ -1,0 +1,143 @@
+#include "net/inproc_transport.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hamr::net {
+
+InProcTransport::InProcTransport(uint32_t num_nodes, NetConfig config,
+                                 std::vector<Metrics*> node_metrics)
+    : config_(config), metrics_(std::move(node_metrics)) {
+  nodes_.reserve(num_nodes);
+  endpoints_.reserve(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<NodeState>());
+    endpoints_.push_back(std::make_unique<EndpointImpl>(this, i));
+  }
+  if (metrics_.empty()) metrics_.assign(num_nodes, nullptr);
+}
+
+InProcTransport::~InProcTransport() { stop(); }
+
+Endpoint* InProcTransport::endpoint(NodeId node) { return endpoints_.at(node).get(); }
+
+void InProcTransport::set_metrics(std::vector<Metrics*> node_metrics) {
+  if (node_metrics.size() == nodes_.size()) metrics_ = std::move(node_metrics);
+}
+
+void InProcTransport::start() {
+  if (started_) return;
+  started_ = true;
+  for (uint32_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->delivery_thread = std::thread([this, i] { delivery_loop(i); });
+  }
+}
+
+void InProcTransport::stop() {
+  if (!started_ || stopping_.exchange(true)) {
+    // Either never started or another stop() already ran; still join below
+    // from the first caller only (threads reset once).
+  }
+  stopping_.store(true);
+  for (auto& node : nodes_) {
+    {
+      std::lock_guard<std::mutex> lock(node->mu);
+      node->ingress_ready.notify_all();
+      node->ingress_space.notify_all();
+    }
+    if (node->delivery_thread.joinable()) node->delivery_thread.join();
+  }
+}
+
+void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
+                              std::string payload) {
+  Message msg{type, src, std::move(payload)};
+  const uint64_t size = msg.payload.size();
+  const bool local = src == dst;
+  const bool model = config_.enabled && !local;
+  const uint64_t billed = std::max<uint64_t>(size, config_.min_message_bytes);
+  const Duration wire_time =
+      model ? from_seconds(static_cast<double>(billed) / config_.bandwidth_bytes_per_sec)
+            : Duration::zero();
+
+  TimePoint tx_end = now();
+  if (model) {
+    NodeState& s = *nodes_[src];
+    std::lock_guard<std::mutex> lock(s.tx_mu);
+    const TimePoint tx_start = std::max(now(), s.tx_busy_until);
+    tx_end = tx_start + wire_time;
+    s.tx_busy_until = tx_end;
+  }
+
+  NodeState& d = *nodes_[dst];
+  {
+    std::unique_lock<std::mutex> lock(d.mu);
+    // Local sends and priority (RPC-response) traffic bypass the ingress
+    // bound; see is_priority_type() for the deadlock-freedom argument.
+    d.ingress_space.wait(lock, [&] {
+      return stopping_.load() || local || is_priority_type(msg.type) ||
+             d.queued_bytes + size <= config_.ingress_capacity_bytes ||
+             d.queue.empty();  // never refuse when empty (oversized message)
+    });
+    if (stopping_.load()) return;
+
+    TimePoint deliver_at;
+    if (model) {
+      const TimePoint arrival = tx_end + config_.latency;
+      const TimePoint rx_start = std::max(arrival, d.rx_busy_until);
+      deliver_at = rx_start + wire_time;
+      d.rx_busy_until = deliver_at;
+    } else {
+      deliver_at = now();
+    }
+    d.queue.push(Pending{deliver_at, seq_.fetch_add(1), std::move(msg), billed});
+    d.queued_bytes += size;
+    d.ingress_ready.notify_one();
+  }
+
+  if (Metrics* m = metrics_[src]; m != nullptr && !local) {
+    m->counter("net.tx_bytes")->add(size);
+    m->counter("net.tx_msgs")->inc();
+  }
+  if (Metrics* m = metrics_[dst]; m != nullptr && !local) {
+    m->counter("net.rx_bytes")->add(size);
+    m->counter("net.rx_msgs")->inc();
+  }
+}
+
+void InProcTransport::delivery_loop(NodeId node) {
+  NodeState& s = *nodes_[node];
+  for (;;) {
+    Pending item;
+    {
+      std::unique_lock<std::mutex> lock(s.mu);
+      s.ingress_ready.wait(lock, [&] { return stopping_.load() || !s.queue.empty(); });
+      if (stopping_.load()) return;
+      const TimePoint at = s.queue.top().deliver_at;
+      if (at > now()) {
+        // Wait until the modeled arrival time (or an earlier message shows
+        // up, which cannot happen since deliver_at is monotone per queue pop,
+        // or shutdown).
+        s.ingress_ready.wait_until(lock, at, [&] { return stopping_.load(); });
+        if (stopping_.load()) return;
+        if (s.queue.empty()) continue;
+        if (s.queue.top().deliver_at > now()) continue;  // spurious wake; re-wait
+      }
+      // const_cast: priority_queue exposes only const top(); the element is
+      // removed immediately after the move so the heap order is unaffected.
+      item = std::move(const_cast<Pending&>(s.queue.top()));
+      s.queue.pop();
+      s.queued_bytes -= item.msg.payload.size();
+      s.ingress_space.notify_all();
+    }
+    if (s.handler) {
+      s.handler(std::move(item.msg));
+    } else {
+      HLOG_WARN << "node " << node << " dropped message type " << item.msg.type
+                << " (no handler)";
+    }
+  }
+}
+
+}  // namespace hamr::net

@@ -1,0 +1,59 @@
+// Demultiplexes an Endpoint's single message stream by message type.
+//
+// Each node wires exactly one Router onto its Endpoint; the engine runtime,
+// the RPC layer, and anything else sharing the fabric register their message
+// types here. Registration may happen after the transport has started (the
+// engine attaches to an already-running cluster), so the table is guarded by
+// a shared mutex - reads on the hot dispatch path take the shared side.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <shared_mutex>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "net/message.h"
+
+namespace hamr::net {
+
+class Router {
+ public:
+  explicit Router(Endpoint* ep) : ep_(ep) {
+    ep_->set_handler([this](Message&& msg) { dispatch(std::move(msg)); });
+  }
+
+  // Registers `handler` for messages of `type`. Throws on collision.
+  void register_type(uint32_t type, MessageHandler handler) {
+    std::unique_lock lock(mu_);
+    if (!handlers_.emplace(type, std::move(handler)).second) {
+      throw std::logic_error("duplicate message type registration");
+    }
+  }
+
+  Endpoint* endpoint() { return ep_; }
+
+ private:
+  void dispatch(Message&& msg) {
+    const MessageHandler* handler = nullptr;
+    {
+      std::shared_lock lock(mu_);
+      auto it = handlers_.find(msg.type);
+      if (it != handlers_.end()) handler = &it->second;
+    }
+    if (handler == nullptr) {
+      HLOG_WARN << "node " << ep_->node_id() << " dropped unroutable message type "
+                << msg.type;
+      return;
+    }
+    // Invoked outside the lock; handlers are never unregistered, so the
+    // pointer stays valid (map nodes are stable).
+    (*handler)(std::move(msg));
+  }
+
+  Endpoint* ep_;
+  std::shared_mutex mu_;
+  std::map<uint32_t, MessageHandler> handlers_;
+};
+
+}  // namespace hamr::net

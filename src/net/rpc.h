@@ -1,0 +1,68 @@
+// Request/response RPC over any Endpoint (in-proc or TCP), from scratch.
+//
+// Wire format (inside Message payloads):
+//   request  := varint request_id | varint method_id | bytes argument
+//   response := varint request_id | bool ok          | bytes result_or_error
+//
+// Server handlers run synchronously on the caller node's delivery thread by
+// default, or on a ThreadPool when one is supplied (required when a handler
+// may block, e.g. on the throttled disk). A handler must never itself issue
+// a blocking RPC back to its caller's delivery thread - standard
+// don't-call-unknown-code-holding-the-channel rule (CP.22 analog).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "net/router.h"
+
+namespace hamr::net {
+
+// Synchronous server-side method: argument bytes in, result bytes out.
+// Throwing reports an error string to the caller.
+using RpcMethod = std::function<std::string(NodeId caller, std::string_view arg)>;
+
+class Rpc {
+ public:
+  // `pool` (optional, not owned) offloads server-side handler execution.
+  explicit Rpc(Router* router, ThreadPool* pool = nullptr);
+
+  // Registers a method id (>= 1). Must happen before the fabric starts.
+  void register_method(uint32_t method_id, RpcMethod method);
+
+  // Fire-and-collect asynchronous call.
+  std::future<Result<std::string>> call(NodeId dst, uint32_t method_id,
+                                        std::string argument);
+
+  // Convenience blocking call with timeout.
+  Result<std::string> call_sync(NodeId dst, uint32_t method_id,
+                                std::string argument,
+                                Duration timeout = std::chrono::seconds(30));
+
+  NodeId node_id() const { return router_->endpoint()->node_id(); }
+
+ private:
+  void on_request(Message&& msg);
+  void on_response(Message&& msg);
+  void serve(NodeId caller, uint64_t request_id, uint32_t method_id,
+             std::string argument);
+
+  Router* router_;
+  ThreadPool* pool_;
+  std::map<uint32_t, RpcMethod> methods_;
+  std::atomic<uint64_t> next_request_id_{1};
+  std::mutex pending_mu_;
+  std::map<uint64_t, std::shared_ptr<std::promise<Result<std::string>>>> pending_;
+};
+
+}  // namespace hamr::net

@@ -1,0 +1,134 @@
+// Typed codecs over serde::Writer/Reader.
+//
+// The engine's public API lets applications emit typed keys/values; these
+// traits define how each supported type maps onto the wire. Encodings are
+// chosen so that lexicographic byte order of encoded keys is NOT relied upon
+// anywhere - grouping always decodes first (unlike Hadoop's raw comparators).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serde/serde.h"
+
+namespace hamr::serde {
+
+template <typename T>
+struct Codec;  // undefined primary: every supported type specializes
+
+template <>
+struct Codec<uint64_t> {
+  static void encode(Writer& w, uint64_t v) { w.put_varint(v); }
+  static uint64_t decode(Reader& r) { return r.get_varint(); }
+};
+
+template <>
+struct Codec<uint32_t> {
+  static void encode(Writer& w, uint32_t v) { w.put_varint(v); }
+  static uint32_t decode(Reader& r) { return static_cast<uint32_t>(r.get_varint()); }
+};
+
+template <>
+struct Codec<int64_t> {
+  static void encode(Writer& w, int64_t v) { w.put_zigzag(v); }
+  static int64_t decode(Reader& r) { return r.get_zigzag(); }
+};
+
+template <>
+struct Codec<int32_t> {
+  static void encode(Writer& w, int32_t v) { w.put_zigzag(v); }
+  static int32_t decode(Reader& r) { return static_cast<int32_t>(r.get_zigzag()); }
+};
+
+template <>
+struct Codec<double> {
+  static void encode(Writer& w, double v) { w.put_double(v); }
+  static double decode(Reader& r) { return r.get_double(); }
+};
+
+template <>
+struct Codec<bool> {
+  static void encode(Writer& w, bool v) { w.put_bool(v); }
+  static bool decode(Reader& r) { return r.get_bool(); }
+};
+
+template <>
+struct Codec<std::string> {
+  static void encode(Writer& w, const std::string& v) { w.put_bytes(v); }
+  static std::string decode(Reader& r) { return std::string(r.get_bytes()); }
+};
+
+template <typename T>
+struct Codec<std::vector<T>> {
+  static void encode(Writer& w, const std::vector<T>& v) {
+    w.put_varint(v.size());
+    for (const auto& item : v) Codec<T>::encode(w, item);
+  }
+  static std::vector<T> decode(Reader& r) {
+    const uint64_t n = r.get_varint();
+    // Guard against hostile lengths: a vector can't have more elements than
+    // remaining bytes (every element encodes to >= 1 byte).
+    if (n > r.remaining()) throw DecodeError("vector length exceeds buffer");
+    std::vector<T> out;
+    out.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) out.push_back(Codec<T>::decode(r));
+    return out;
+  }
+};
+
+template <typename A, typename B>
+struct Codec<std::pair<A, B>> {
+  static void encode(Writer& w, const std::pair<A, B>& v) {
+    Codec<A>::encode(w, v.first);
+    Codec<B>::encode(w, v.second);
+  }
+  static std::pair<A, B> decode(Reader& r) {
+    A a = Codec<A>::decode(r);
+    B b = Codec<B>::decode(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+template <typename K, typename V>
+struct Codec<std::map<K, V>> {
+  static void encode(Writer& w, const std::map<K, V>& m) {
+    w.put_varint(m.size());
+    for (const auto& [k, v] : m) {
+      Codec<K>::encode(w, k);
+      Codec<V>::encode(w, v);
+    }
+  }
+  static std::map<K, V> decode(Reader& r) {
+    const uint64_t n = r.get_varint();
+    if (n > r.remaining()) throw DecodeError("map length exceeds buffer");
+    std::map<K, V> out;
+    for (uint64_t i = 0; i < n; ++i) {
+      K k = Codec<K>::decode(r);
+      V v = Codec<V>::decode(r);
+      out.emplace(std::move(k), std::move(v));
+    }
+    return out;
+  }
+};
+
+// Convenience: encode a value to a fresh byte string / decode a whole buffer.
+template <typename T>
+std::string encode_to_string(const T& value) {
+  ByteBuffer buf;
+  Writer w(buf);
+  Codec<T>::encode(w, value);
+  return std::string(buf.view());
+}
+
+template <typename T>
+T decode_from(std::string_view bytes) {
+  Reader r(bytes);
+  T value = Codec<T>::decode(r);
+  if (!r.at_end()) throw DecodeError("trailing bytes after decode");
+  return value;
+}
+
+}  // namespace hamr::serde

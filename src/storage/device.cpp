@@ -1,0 +1,32 @@
+#include "storage/device.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace hamr::storage {
+
+ThrottledDevice::ThrottledDevice(DeviceConfig config, Metrics* metrics)
+    : config_(config), metrics_(metrics) {}
+
+void ThrottledDevice::charge(uint64_t bytes) {
+  if (!config_.enabled) return;
+  const uint64_t billed = bytes == 0 ? 0 : std::max(bytes, config_.min_request_bytes);
+  const Duration transfer =
+      from_seconds(static_cast<double>(billed) / config_.bandwidth_bytes_per_sec);
+
+  TimePoint finish;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const TimePoint start = std::max(now(), busy_until_);
+    finish = start + config_.seek_latency + transfer;
+    busy_until_ = finish;
+    total_bytes_ += bytes;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("disk.bytes")->add(bytes);
+    metrics_->counter("disk.ops")->inc();
+  }
+  std::this_thread::sleep_until(finish);
+}
+
+}  // namespace hamr::storage

@@ -1,0 +1,57 @@
+// Disk cost model.
+//
+// Each simulated node owns one ThrottledDevice standing in for its local
+// SATA disk (paper Table 1). Every byte the baseline MapReduce engine spills,
+// merges, shuffles through, or writes to DFS passes through this device, as
+// does the HAMR engine's spill path. The device serializes concurrent
+// requests (one spindle) and charges seek latency + bytes/bandwidth, then
+// makes the caller actually wait until its modeled completion time - so
+// modeled I/O time composes correctly with real compute time and overlaps
+// across nodes exactly as independent disks would.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace hamr::storage {
+
+struct DeviceConfig {
+  // Sequential bandwidth in bytes/second. 64 MB/s default approximates a
+  // scaled-down SATA-III disk shared by several task slots.
+  double bandwidth_bytes_per_sec = 64.0 * 1024 * 1024;
+  // Per-request positioning cost (seek + rotational).
+  Duration seek_latency = micros(4000);
+  // Requests smaller than this still pay for this many bytes (sector floor).
+  uint64_t min_request_bytes = 4096;
+  // Global switch: when false the device is free (used to ablate the model
+  // and by unit tests that only care about data correctness).
+  bool enabled = true;
+};
+
+class ThrottledDevice {
+ public:
+  explicit ThrottledDevice(DeviceConfig config, Metrics* metrics = nullptr);
+
+  // Charges one I/O of `bytes` and blocks the calling thread until the
+  // modeled completion time. Safe to call from many threads; requests are
+  // serialized in arrival order like a single disk queue.
+  void charge(uint64_t bytes);
+
+  // Charges a pure seek (metadata touch, file open).
+  void charge_seek() { charge(0); }
+
+  const DeviceConfig& config() const { return config_; }
+  uint64_t total_bytes() const { return total_bytes_; }
+
+ private:
+  DeviceConfig config_;
+  Metrics* metrics_;
+  std::mutex mu_;
+  TimePoint busy_until_{};
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace hamr::storage

@@ -1,0 +1,88 @@
+#include "storage/file_store.h"
+
+#include <algorithm>
+
+namespace hamr::storage {
+
+void FileStore::write_file(const std::string& path, std::string_view data) {
+  if (device_ != nullptr) device_->charge(data.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = std::make_shared<std::string>(data);
+}
+
+void FileStore::append(const std::string& path, std::string_view data) {
+  if (device_ != nullptr) device_->charge(data.size());
+  std::shared_ptr<std::string> file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = files_[path];
+    if (!slot) slot = std::make_shared<std::string>();
+    file = slot;
+  }
+  // Appends to a given file are not concurrent in any caller (each spill file
+  // has a single writer); the store lock above only protects the map.
+  file->append(data.data(), data.size());
+}
+
+Result<std::string> FileStore::read_file(const std::string& path) const {
+  std::shared_ptr<std::string> file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("file: " + path);
+    file = it->second;
+  }
+  if (device_ != nullptr) device_->charge(file->size());
+  return *file;
+}
+
+Result<std::string> FileStore::read_range(const std::string& path,
+                                          uint64_t offset, uint64_t len) const {
+  std::shared_ptr<std::string> file;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("file: " + path);
+    file = it->second;
+  }
+  if (offset >= file->size()) return std::string();
+  const uint64_t n = std::min<uint64_t>(len, file->size() - offset);
+  if (device_ != nullptr) device_->charge(n);
+  return file->substr(offset, n);
+}
+
+Result<uint64_t> FileStore::file_size(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("file: " + path);
+  return static_cast<uint64_t>(it->second->size());
+}
+
+bool FileStore::exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status FileStore::remove(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.erase(path) > 0 ? Status::Ok() : Status::NotFound("file: " + path);
+}
+
+std::vector<std::string> FileStore::list(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+uint64_t FileStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [path, file] : files_) total += file->size();
+  return total;
+}
+
+}  // namespace hamr::storage

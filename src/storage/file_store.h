@@ -1,0 +1,60 @@
+// Per-node local file system, hermetic and in-memory, fronted by the node's
+// ThrottledDevice for cost accounting.
+//
+// This stands in for each cluster node's local disks: map-task spill files,
+// shuffle segments, HAMR spill runs, and MiniDfs block storage all live here.
+// Keeping bytes in memory (with modeled I/O cost) makes every test and bench
+// deterministic and independent of the host file system.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "storage/device.h"
+
+namespace hamr::storage {
+
+class FileStore {
+ public:
+  // `device` may be null (free I/O); when set, reads and writes are charged.
+  explicit FileStore(ThrottledDevice* device = nullptr) : device_(device) {}
+
+  // Creates or truncates a file and writes `data` to it.
+  void write_file(const std::string& path, std::string_view data);
+
+  // Appends to a file, creating it if absent.
+  void append(const std::string& path, std::string_view data);
+
+  // Reads the whole file.
+  Result<std::string> read_file(const std::string& path) const;
+
+  // Reads [offset, offset+len) clamped to file size.
+  Result<std::string> read_range(const std::string& path, uint64_t offset,
+                                 uint64_t len) const;
+
+  Result<uint64_t> file_size(const std::string& path) const;
+  bool exists(const std::string& path) const;
+  Status remove(const std::string& path);
+
+  // All paths with the given prefix, sorted.
+  std::vector<std::string> list(const std::string& prefix) const;
+
+  // Total bytes across all files (memory-footprint probe for tests).
+  uint64_t total_bytes() const;
+
+  ThrottledDevice* device() const { return device_; }
+
+ private:
+  ThrottledDevice* device_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<std::string>> files_;
+};
+
+}  // namespace hamr::storage

@@ -1,0 +1,125 @@
+#include "storage/run_file.h"
+
+#include <cassert>
+
+#include "serde/serde.h"
+
+namespace hamr::storage {
+
+RunWriter::RunWriter(FileStore* store, std::string path)
+    : store_(store), path_(std::move(path)) {}
+
+RunWriter::~RunWriter() {
+  if (!closed_) close();
+}
+
+void RunWriter::add(std::string_view key, std::string_view value) {
+  assert(!closed_);
+  assert(last_key_.empty() || key >= last_key_);
+  last_key_.assign(key);
+  serde::Writer w(buf_);
+  w.put_bytes(key);
+  w.put_bytes(value);
+  ++records_;
+}
+
+uint64_t RunWriter::close() {
+  if (closed_) return buf_.size();
+  closed_ = true;
+  store_->write_file(path_, buf_.view());
+  return buf_.size();
+}
+
+RunReader::RunReader(const FileStore* store, const std::string& path) {
+  auto result = store->read_file(path);
+  result.status().ExpectOk();
+  data_ = std::move(result).value();
+}
+
+bool RunReader::next(std::string_view* key, std::string_view* value) {
+  if (pos_ >= data_.size()) return false;
+  serde::Reader r(std::string_view(data_).substr(pos_));
+  *key = r.get_bytes();
+  *value = r.get_bytes();
+  pos_ += r.position();
+  return true;
+}
+
+namespace {
+
+uint64_t merge_runs_once(FileStore* store, const std::vector<std::string>& run_paths,
+                         const std::string& out_path) {
+  struct Head {
+    std::string_view key;
+    std::string_view value;
+    size_t run;
+  };
+  struct HeadGreater {
+    bool operator()(const Head& a, const Head& b) const {
+      if (a.key != b.key) return a.key > b.key;
+      return a.run > b.run;  // stability across runs
+    }
+  };
+
+  std::vector<RunReader> readers;
+  readers.reserve(run_paths.size());
+  for (const auto& path : run_paths) readers.emplace_back(store, path);
+
+  std::priority_queue<Head, std::vector<Head>, HeadGreater> heap;
+  for (size_t i = 0; i < readers.size(); ++i) {
+    std::string_view k, v;
+    if (readers[i].next(&k, &v)) heap.push({k, v, i});
+  }
+
+  RunWriter out(store, out_path);
+  uint64_t written = 0;
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    out.add(head.key, head.value);
+    ++written;
+    std::string_view k, v;
+    if (readers[head.run].next(&k, &v)) heap.push({k, v, head.run});
+  }
+  out.close();
+  return written;
+}
+
+}  // namespace
+
+uint64_t merge_runs(FileStore* store, const std::vector<std::string>& run_paths,
+                    const std::string& out_path, size_t max_fan_in) {
+  if (max_fan_in < 2 || run_paths.size() <= max_fan_in) {
+    return merge_runs_once(store, run_paths, out_path);
+  }
+  // Bounded fan-in: merge groups into intermediate files, repeat.
+  std::vector<std::string> current = run_paths;
+  uint64_t pass = 0;
+  while (current.size() > max_fan_in) {
+    std::vector<std::string> next;
+    for (size_t i = 0; i < current.size(); i += max_fan_in) {
+      const size_t end = std::min(i + max_fan_in, current.size());
+      std::vector<std::string> group(current.begin() + i, current.begin() + end);
+      if (group.size() == 1) {
+        next.push_back(group[0]);
+        continue;
+      }
+      const std::string intermediate =
+          out_path + ".merge" + std::to_string(pass) + "_" + std::to_string(i);
+      merge_runs_once(store, group, intermediate);
+      for (const std::string& path : group) {
+        if (path != intermediate) (void)store->remove(path);
+      }
+      next.push_back(intermediate);
+    }
+    current = std::move(next);
+    ++pass;
+  }
+  const uint64_t written = merge_runs_once(store, current, out_path);
+  for (const std::string& path : current) {
+    if (path != out_path) (void)store->remove(path);
+  }
+  return written;
+}
+
+}  // namespace hamr::storage

@@ -1,0 +1,214 @@
+// End-to-end correctness: every benchmark runs on BOTH engines over the same
+// generated dataset and must match a sequential reference implementation.
+// Cost models are disabled (fast cluster) - these tests check data paths.
+#include <gtest/gtest.h>
+
+#include "apps/classification.h"
+#include "apps/histograms.h"
+#include "apps/kcliques.h"
+#include "apps/kmeans.h"
+#include "apps/naive_bayes.h"
+#include "apps/pagerank.h"
+#include "apps/wordcount.h"
+#include "gen/generators.h"
+
+using namespace hamr;
+
+namespace {
+
+std::vector<std::string> make_shards(uint32_t n,
+                                     const std::function<std::string(uint32_t)>& fn) {
+  std::vector<std::string> shards;
+  for (uint32_t i = 0; i < n; ++i) shards.push_back(fn(i));
+  return shards;
+}
+
+}  // namespace
+
+TEST(AppsIntegration, WordCount) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::TextSpec spec;
+  spec.total_bytes = 128 * 1024;
+  auto shards = make_shards(env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(env, "wc", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  apps::wordcount::run_hamr(env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(env), expected);
+  apps::wordcount::run_baseline(env, staged);
+  EXPECT_EQ(apps::wordcount::baseline_output(env), expected);
+}
+
+TEST(AppsIntegration, WordCountWithCombinerAndFullReduce) {
+  apps::BenchEnv env = apps::BenchEnv::fast(3);
+  gen::TextSpec spec;
+  spec.total_bytes = 96 * 1024;
+  auto shards = make_shards(env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 3); });
+  auto staged = apps::stage_input(env, "wc", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  apps::wordcount::run_hamr(env, staged, /*combine=*/true);
+  EXPECT_EQ(apps::wordcount::hamr_output(env), expected);
+
+  apps::wordcount::run_hamr(env, staged, /*combine=*/false, /*use_full_reduce=*/true);
+  EXPECT_EQ(apps::wordcount::hamr_output(env), expected);
+
+  apps::wordcount::run_baseline(env, staged, /*use_combiner=*/false);
+  EXPECT_EQ(apps::wordcount::baseline_output(env), expected);
+}
+
+TEST(AppsIntegration, HistogramMovies) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::MoviesSpec spec;
+  spec.total_bytes = 128 * 1024;
+  auto shards = make_shards(env.nodes(),
+                            [&](uint32_t i) { return gen::movies_shard(spec, i, 4); });
+  auto staged = apps::stage_input(env, "hm", shards, 16 * 1024);
+  const auto expected =
+      apps::histograms::reference(shards, apps::histograms::Kind::kMovies);
+
+  apps::histograms::run_hamr(env, staged, apps::histograms::Kind::kMovies);
+  EXPECT_EQ(apps::histograms::hamr_output(env, apps::histograms::Kind::kMovies),
+            expected);
+  apps::histograms::run_baseline(env, staged, apps::histograms::Kind::kMovies);
+  EXPECT_EQ(apps::histograms::baseline_output(env, apps::histograms::Kind::kMovies),
+            expected);
+}
+
+TEST(AppsIntegration, HistogramRatings) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::MoviesSpec spec;
+  spec.total_bytes = 128 * 1024;
+  auto shards = make_shards(env.nodes(),
+                            [&](uint32_t i) { return gen::movies_shard(spec, i, 4); });
+  auto staged = apps::stage_input(env, "hr", shards, 16 * 1024);
+  const auto expected =
+      apps::histograms::reference(shards, apps::histograms::Kind::kRatings);
+  ASSERT_EQ(expected.size(), 5u);  // exactly the 5 rating keys
+
+  apps::histograms::run_hamr(env, staged, apps::histograms::Kind::kRatings,
+                             /*combine=*/false);
+  EXPECT_EQ(apps::histograms::hamr_output(env, apps::histograms::Kind::kRatings),
+            expected);
+  // Combiner variant (Table 3) must agree too.
+  apps::histograms::run_hamr(env, staged, apps::histograms::Kind::kRatings,
+                             /*combine=*/true);
+  EXPECT_EQ(apps::histograms::hamr_output(env, apps::histograms::Kind::kRatings),
+            expected);
+  apps::histograms::run_baseline(env, staged, apps::histograms::Kind::kRatings);
+  EXPECT_EQ(apps::histograms::baseline_output(env, apps::histograms::Kind::kRatings),
+            expected);
+}
+
+TEST(AppsIntegration, NaiveBayes) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::DocsSpec spec;
+  spec.total_bytes = 128 * 1024;
+  auto shards = make_shards(env.nodes(),
+                            [&](uint32_t i) { return gen::docs_shard(spec, i, 4); });
+  auto staged = apps::stage_input(env, "nb", shards, 16 * 1024);
+  const auto expected = apps::naive_bayes::reference(shards);
+
+  apps::naive_bayes::run_hamr(env, staged);
+  EXPECT_EQ(apps::naive_bayes::hamr_output(env), expected);
+  apps::naive_bayes::run_baseline(env, staged);
+  EXPECT_EQ(apps::naive_bayes::baseline_output(env), expected);
+}
+
+TEST(AppsIntegration, KMeans) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::MoviesSpec spec;
+  spec.total_bytes = 192 * 1024;
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::movie_vectors_shard(spec, i, 4);
+  });
+  auto staged = apps::stage_input(env, "km", shards, 16 * 1024);
+  const auto params = apps::kmeans::make_params(shards, 6);
+  const auto expected = apps::kmeans::reference(shards, params);
+  ASSERT_FALSE(expected.new_centroids.empty());
+
+  apps::kmeans::run_hamr(env, staged, params);
+  EXPECT_EQ(apps::kmeans::hamr_new_centroids(env), expected.new_centroids);
+  EXPECT_EQ(apps::kmeans::hamr_cluster_sizes(env), expected.cluster_sizes);
+
+  apps::kmeans::run_baseline(env, staged, params);
+  EXPECT_EQ(apps::kmeans::baseline_new_centroids(env), expected.new_centroids);
+
+  // Ablation variant (ship full vectors) must agree with the locality path.
+  apps::kmeans::run_hamr(env, staged, params, /*ship_full_vectors=*/true);
+  EXPECT_EQ(apps::kmeans::hamr_new_centroids(env), expected.new_centroids);
+}
+
+TEST(AppsIntegration, Classification) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::MoviesSpec spec;
+  spec.total_bytes = 128 * 1024;
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::movie_vectors_shard(spec, i, 4);
+  });
+  auto staged = apps::stage_input(env, "cl", shards, 16 * 1024);
+  const auto params = apps::kmeans::make_params(shards, 5);
+  const auto expected = apps::classification::reference(shards, params);
+
+  apps::classification::run_hamr(env, staged, params);
+  EXPECT_EQ(apps::classification::hamr_cluster_sizes(env), expected);
+  apps::classification::run_baseline(env, staged, params);
+  EXPECT_EQ(apps::classification::baseline_cluster_sizes(env), expected);
+}
+
+TEST(AppsIntegration, PageRank) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::WebGraphSpec spec;
+  spec.num_pages = 512;
+  spec.num_edges = 4096;
+  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+    return gen::web_graph_shard(spec, i, 4);
+  });
+  auto staged = apps::stage_input(env, "pr", shards, 16 * 1024);
+  apps::pagerank::Params params;
+  params.num_pages = spec.num_pages;
+  params.iterations = 3;
+  const auto expected = apps::pagerank::reference(shards, params);
+
+  apps::pagerank::run_hamr(env, staged, params);
+  const auto hamr = apps::pagerank::hamr_ranks(env, params);
+  ASSERT_EQ(hamr.size(), expected.size());
+  for (const auto& [page, rank] : expected) {
+    EXPECT_NEAR(hamr.at(page), rank, 1e-12) << "page " << page;
+  }
+
+  apps::pagerank::run_baseline(env, staged, params);
+  const auto base = apps::pagerank::baseline_ranks(env, params, params.iterations);
+  ASSERT_EQ(base.size(), expected.size());
+  for (const auto& [page, rank] : expected) {
+    EXPECT_NEAR(base.at(page), rank, 1e-12) << "page " << page;
+  }
+
+  // Ablation variant (reload edges each iteration) computes the same ranks.
+  apps::pagerank::run_hamr(env, staged, params, /*reload_each_iteration=*/true);
+  const auto reloaded = apps::pagerank::hamr_ranks(env, params);
+  for (const auto& [page, rank] : expected) {
+    EXPECT_NEAR(reloaded.at(page), rank, 1e-12) << "page " << page;
+  }
+}
+
+TEST(AppsIntegration, KCliques) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::RmatSpec spec;
+  spec.scale = 7;       // 128 vertices
+  spec.num_edges = 1500;  // dense enough for 4-cliques
+  auto shards = make_shards(env.nodes(),
+                            [&](uint32_t i) { return gen::rmat_shard(spec, i, 4); });
+  auto staged = apps::stage_input(env, "kc", shards, 8 * 1024);
+  apps::kcliques::Params params;
+  params.k = 4;
+  const auto expected = apps::kcliques::reference(shards, params);
+  ASSERT_FALSE(expected.empty()) << "generator produced no 4-cliques; retune";
+
+  apps::kcliques::run_hamr(env, staged, params);
+  EXPECT_EQ(apps::kcliques::hamr_cliques(env), expected);
+  apps::kcliques::run_baseline(env, staged, params);
+  EXPECT_EQ(apps::kcliques::baseline_cliques(env), expected);
+}

@@ -1,0 +1,181 @@
+// Unit tests for the application-level building blocks: parsers, codecs,
+// similarity math, and small helpers shared by the benchmarks.
+#include <gtest/gtest.h>
+
+#include "apps/common.h"
+#include "apps/counting.h"
+#include "apps/histograms.h"
+#include "apps/movie_vectors.h"
+#include "apps/naive_bayes.h"
+
+using namespace hamr;
+using namespace hamr::apps;
+
+// --- tokenize / counts -----------------------------------------------------
+
+TEST(Tokenize, SplitsOnSpacesAndTabs) {
+  const auto tokens = tokenize("  a\tbb  ccc \t");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "a");
+  EXPECT_EQ(tokens[1], "bb");
+  EXPECT_EQ(tokens[2], "ccc");
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize(" \t ").empty());
+}
+
+TEST(Counting, ParseCount) {
+  EXPECT_EQ(parse_count("0"), 0u);
+  EXPECT_EQ(parse_count("12345"), 12345u);
+  EXPECT_EQ(parse_count(""), 0u);
+  EXPECT_EQ(parse_count("junk"), 0u);
+}
+
+TEST(Common, ToCountsParsesDecimal) {
+  std::map<std::string, std::string> kv{{"a", "3"}, {"b", "0"}};
+  const auto counts = to_counts(kv);
+  EXPECT_EQ(counts.at("a"), 3u);
+  EXPECT_EQ(counts.at("b"), 0u);
+}
+
+// --- movie histogram parsing --------------------------------------------------
+
+TEST(MovieLine, ParsesRatings) {
+  histograms::MovieLine movie;
+  ASSERT_TRUE(histograms::parse_movie_line("m42:1,5,3", &movie));
+  EXPECT_EQ(movie.id, "m42");
+  EXPECT_EQ(movie.ratings, (std::vector<uint32_t>{1, 5, 3}));
+}
+
+TEST(MovieLine, RejectsMalformed) {
+  histograms::MovieLine movie;
+  EXPECT_FALSE(histograms::parse_movie_line("", &movie));
+  EXPECT_FALSE(histograms::parse_movie_line("no-colon", &movie));
+  EXPECT_FALSE(histograms::parse_movie_line(":1,2", &movie));
+  EXPECT_FALSE(histograms::parse_movie_line("m1:", &movie));
+}
+
+TEST(MovieBucket, RoundsToHalfSteps) {
+  EXPECT_EQ(histograms::movie_bucket({3, 3, 3}), "3.0");
+  EXPECT_EQ(histograms::movie_bucket({3, 4}), "3.5");
+  EXPECT_EQ(histograms::movie_bucket({5}), "5.0");
+  EXPECT_EQ(histograms::movie_bucket({1}), "1.0");
+  EXPECT_EQ(histograms::movie_bucket({1, 2}), "1.5");
+  // avg 3.2 -> 3.0 ; avg 3.3 -> 3.5
+  EXPECT_EQ(histograms::movie_bucket({3, 3, 3, 3, 4}), "3.0");
+  EXPECT_EQ(histograms::movie_bucket({3, 3, 4, 3, 4, 3}), "3.5");
+}
+
+// --- movie vectors / similarity -------------------------------------------------
+
+TEST(MovieVector, ParsesUserRatings) {
+  movies::MovieVector v;
+  ASSERT_TRUE(movies::parse_movie_vector("m7:u3_5,u10_1", &v));
+  EXPECT_EQ(v.id, "m7");
+  ASSERT_EQ(v.coords.size(), 2u);
+  EXPECT_EQ(v.coords[0], (std::pair<uint32_t, double>{3, 5.0}));
+  EXPECT_EQ(v.coords[1], (std::pair<uint32_t, double>{10, 1.0}));
+}
+
+TEST(MovieVector, CosineIdenticalIsOne) {
+  movies::MovieVector a, b;
+  ASSERT_TRUE(movies::parse_movie_vector("m1:u1_2,u5_4", &a));
+  ASSERT_TRUE(movies::parse_movie_vector("m2:u1_2,u5_4", &b));
+  EXPECT_NEAR(movies::cosine_similarity(a, b), 1.0, 1e-12);
+}
+
+TEST(MovieVector, CosineDisjointIsZero) {
+  movies::MovieVector a, b;
+  ASSERT_TRUE(movies::parse_movie_vector("m1:u1_3", &a));
+  ASSERT_TRUE(movies::parse_movie_vector("m2:u2_3", &b));
+  EXPECT_EQ(movies::cosine_similarity(a, b), 0.0);
+}
+
+TEST(MovieVector, CosineKnownValue) {
+  movies::MovieVector a, b;
+  // a = (3, 4) on users {1,2}; b = (4, 3): cos = 24/25.
+  ASSERT_TRUE(movies::parse_movie_vector("m1:u1_3,u2_4", &a));
+  ASSERT_TRUE(movies::parse_movie_vector("m2:u1_4,u2_3", &b));
+  EXPECT_NEAR(movies::cosine_similarity(a, b), 24.0 / 25.0, 1e-12);
+}
+
+TEST(MovieVector, AssignClusterPicksMostSimilarWithLowIndexTies) {
+  movies::MovieVector m;
+  ASSERT_TRUE(movies::parse_movie_vector("m0:u1_5", &m));
+  const std::vector<std::string> lines = {"c0:u2_5", "c1:u1_5", "c2:u1_5"};
+  const auto centroids = movies::parse_centroids(lines);
+  double sim = 0;
+  EXPECT_EQ(movies::assign_cluster(m, centroids, &sim), 1u);  // tie c1/c2 -> c1
+  EXPECT_NEAR(sim, 1.0, 1e-12);
+}
+
+TEST(MovieVector, InitialCentroidLines) {
+  const std::string shard = "m0:u1_1\nm1:u2_2\nm2:u3_3\n";
+  const auto lines = movies::initial_centroid_lines(shard, 2);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "m0:u1_1");
+  EXPECT_EQ(lines[1], "m1:u2_2");
+  EXPECT_EQ(movies::initial_centroid_lines(shard, 10).size(), 3u);  // clamped
+}
+
+// --- naive bayes vector codec -----------------------------------------------------
+
+TEST(NaiveBayesVector, CodecRoundTrip) {
+  std::map<std::string, uint64_t> vec{{"w1", 3}, {"w10", 1}, {"w2", 7}};
+  const std::string text = naive_bayes::encode_vector(vec);
+  EXPECT_EQ(naive_bayes::parse_vector(text), vec);
+}
+
+TEST(NaiveBayesVector, EncodeSortedByFeature) {
+  std::map<std::string, uint64_t> vec{{"b", 2}, {"a", 1}};
+  EXPECT_EQ(naive_bayes::encode_vector(vec), "a:1 b:2");
+  EXPECT_TRUE(naive_bayes::encode_vector({}).empty());
+}
+
+TEST(NaiveBayesVector, ParseIgnoresMalformedTokens) {
+  const auto vec = naive_bayes::parse_vector("a:1 nocolon b:2");
+  EXPECT_EQ(vec.size(), 2u);
+  EXPECT_EQ(vec.at("b"), 2u);
+}
+
+// --- staging helpers ---------------------------------------------------------------
+
+TEST(Staging, SplitsAreLineAlignedAndCoverEverything) {
+  apps::BenchEnv env = apps::BenchEnv::fast(3);
+  std::vector<std::string> shards;
+  for (int s = 0; s < 3; ++s) {
+    std::string shard;
+    for (int i = 0; i < 200; ++i) {
+      shard += "shard" + std::to_string(s) + "_line" + std::to_string(i) + "\n";
+    }
+    shards.push_back(shard);
+  }
+  const auto staged = apps::stage_input(env, "staging_test", shards, 512);
+  EXPECT_GT(staged.splits.size(), 6u);
+
+  uint64_t covered = 0;
+  for (const auto& split : staged.splits) {
+    covered += split.length;
+    // Every split starts at a line boundary of its node's local file.
+    auto head = env.cluster->node(split.preferred_node)
+                    .store()
+                    .read_range(split.path, split.offset, 6);
+    EXPECT_EQ(head.value().substr(0, 5), "shard") << split.offset;
+    if (split.offset > 0) {
+      auto before = env.cluster->node(split.preferred_node)
+                        .store()
+                        .read_range(split.path, split.offset - 1, 1);
+      EXPECT_EQ(before.value(), "\n");
+    }
+  }
+  EXPECT_EQ(covered, staged.total_bytes);
+  EXPECT_EQ(env.dfs->total_size(staged.dfs_path), staged.total_bytes);
+}
+
+TEST(Staging, CollectLocalKvMergesNodes) {
+  apps::BenchEnv env = apps::BenchEnv::fast(2);
+  env.cluster->node(0).store().write_file("merge/a", "x\t1\ny\t2\n");
+  env.cluster->node(1).store().write_file("merge/b", "z\t3\nnotab\n");
+  const auto kv = apps::collect_local_kv(*env.cluster, "merge/");
+  EXPECT_EQ(kv.size(), 3u);
+  EXPECT_EQ(kv.at("z"), "3");
+}

