@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_flowcontrol.dir/ablation_flowcontrol.cpp.o"
+  "CMakeFiles/ablation_flowcontrol.dir/ablation_flowcontrol.cpp.o.d"
+  "ablation_flowcontrol"
+  "ablation_flowcontrol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_flowcontrol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

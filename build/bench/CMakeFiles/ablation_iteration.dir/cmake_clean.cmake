@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iteration.dir/ablation_iteration.cpp.o"
+  "CMakeFiles/ablation_iteration.dir/ablation_iteration.cpp.o.d"
+  "ablation_iteration"
+  "ablation_iteration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iteration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

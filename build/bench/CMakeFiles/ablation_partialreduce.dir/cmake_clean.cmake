@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partialreduce.dir/ablation_partialreduce.cpp.o"
+  "CMakeFiles/ablation_partialreduce.dir/ablation_partialreduce.cpp.o.d"
+  "ablation_partialreduce"
+  "ablation_partialreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partialreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_speedup.dir/fig3a_speedup.cpp.o"
+  "CMakeFiles/fig3a_speedup.dir/fig3a_speedup.cpp.o.d"
+  "fig3a_speedup"
+  "fig3a_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libhamr_bench_harness.a"
+  "../lib/libhamr_bench_harness.pdb"
+  "CMakeFiles/hamr_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/hamr_bench_harness.dir/harness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

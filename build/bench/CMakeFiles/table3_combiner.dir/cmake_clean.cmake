@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_combiner.dir/table3_combiner.cpp.o"
+  "CMakeFiles/table3_combiner.dir/table3_combiner.cpp.o.d"
+  "table3_combiner"
+  "table3_combiner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_combiner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lambda_pipeline.dir/lambda_pipeline.cpp.o"
+  "CMakeFiles/lambda_pipeline.dir/lambda_pipeline.cpp.o.d"
+  "lambda_pipeline"
+  "lambda_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lambda_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

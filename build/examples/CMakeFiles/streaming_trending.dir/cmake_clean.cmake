@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_trending.dir/streaming_trending.cpp.o"
+  "CMakeFiles/streaming_trending.dir/streaming_trending.cpp.o.d"
+  "streaming_trending"
+  "streaming_trending.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_trending.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/classification.cpp" "src/apps/CMakeFiles/hamr_apps.dir/classification.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/classification.cpp.o.d"
+  "/root/repo/src/apps/common.cpp" "src/apps/CMakeFiles/hamr_apps.dir/common.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/common.cpp.o.d"
+  "/root/repo/src/apps/histograms.cpp" "src/apps/CMakeFiles/hamr_apps.dir/histograms.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/histograms.cpp.o.d"
+  "/root/repo/src/apps/kcliques.cpp" "src/apps/CMakeFiles/hamr_apps.dir/kcliques.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/kcliques.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/hamr_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/movie_vectors.cpp" "src/apps/CMakeFiles/hamr_apps.dir/movie_vectors.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/movie_vectors.cpp.o.d"
+  "/root/repo/src/apps/naive_bayes.cpp" "src/apps/CMakeFiles/hamr_apps.dir/naive_bayes.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/naive_bayes.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/apps/CMakeFiles/hamr_apps.dir/pagerank.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/pagerank.cpp.o.d"
+  "/root/repo/src/apps/wordcount.cpp" "src/apps/CMakeFiles/hamr_apps.dir/wordcount.cpp.o" "gcc" "src/apps/CMakeFiles/hamr_apps.dir/wordcount.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/hamr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/hamr_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hamr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/hamr_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hamr_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hamr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hamr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hamr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hamr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_apps.dir/classification.cpp.o"
+  "CMakeFiles/hamr_apps.dir/classification.cpp.o.d"
+  "CMakeFiles/hamr_apps.dir/common.cpp.o"
+  "CMakeFiles/hamr_apps.dir/common.cpp.o.d"
+  "CMakeFiles/hamr_apps.dir/histograms.cpp.o"
+  "CMakeFiles/hamr_apps.dir/histograms.cpp.o.d"
+  "CMakeFiles/hamr_apps.dir/kcliques.cpp.o"
+  "CMakeFiles/hamr_apps.dir/kcliques.cpp.o.d"
+  "CMakeFiles/hamr_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/hamr_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/hamr_apps.dir/movie_vectors.cpp.o"
+  "CMakeFiles/hamr_apps.dir/movie_vectors.cpp.o.d"
+  "CMakeFiles/hamr_apps.dir/naive_bayes.cpp.o"
+  "CMakeFiles/hamr_apps.dir/naive_bayes.cpp.o.d"
+  "CMakeFiles/hamr_apps.dir/pagerank.cpp.o"
+  "CMakeFiles/hamr_apps.dir/pagerank.cpp.o.d"
+  "CMakeFiles/hamr_apps.dir/wordcount.cpp.o"
+  "CMakeFiles/hamr_apps.dir/wordcount.cpp.o.d"
+  "libhamr_apps.a"
+  "libhamr_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

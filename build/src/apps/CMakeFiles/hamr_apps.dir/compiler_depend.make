@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hamr_apps.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hamr_cluster.dir/cluster.cpp.o.d"
+  "libhamr_cluster.a"
+  "libhamr_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

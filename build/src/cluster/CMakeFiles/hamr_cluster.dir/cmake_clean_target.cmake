@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhamr_cluster.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_common.dir/clock.cpp.o"
+  "CMakeFiles/hamr_common.dir/clock.cpp.o.d"
+  "CMakeFiles/hamr_common.dir/flags.cpp.o"
+  "CMakeFiles/hamr_common.dir/flags.cpp.o.d"
+  "CMakeFiles/hamr_common.dir/logging.cpp.o"
+  "CMakeFiles/hamr_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hamr_common.dir/random.cpp.o"
+  "CMakeFiles/hamr_common.dir/random.cpp.o.d"
+  "CMakeFiles/hamr_common.dir/status.cpp.o"
+  "CMakeFiles/hamr_common.dir/status.cpp.o.d"
+  "CMakeFiles/hamr_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/hamr_common.dir/thread_pool.cpp.o.d"
+  "libhamr_common.a"
+  "libhamr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

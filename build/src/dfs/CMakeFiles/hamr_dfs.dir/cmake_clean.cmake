@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_dfs.dir/mini_dfs.cpp.o"
+  "CMakeFiles/hamr_dfs.dir/mini_dfs.cpp.o.d"
+  "libhamr_dfs.a"
+  "libhamr_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/bin.cpp" "src/engine/CMakeFiles/hamr_engine.dir/bin.cpp.o" "gcc" "src/engine/CMakeFiles/hamr_engine.dir/bin.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/hamr_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/hamr_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/graph.cpp" "src/engine/CMakeFiles/hamr_engine.dir/graph.cpp.o" "gcc" "src/engine/CMakeFiles/hamr_engine.dir/graph.cpp.o.d"
+  "/root/repo/src/engine/loaders.cpp" "src/engine/CMakeFiles/hamr_engine.dir/loaders.cpp.o" "gcc" "src/engine/CMakeFiles/hamr_engine.dir/loaders.cpp.o.d"
+  "/root/repo/src/engine/runtime.cpp" "src/engine/CMakeFiles/hamr_engine.dir/runtime.cpp.o" "gcc" "src/engine/CMakeFiles/hamr_engine.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/hamr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hamr_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hamr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hamr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hamr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

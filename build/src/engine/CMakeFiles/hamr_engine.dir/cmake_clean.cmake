@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_engine.dir/bin.cpp.o"
+  "CMakeFiles/hamr_engine.dir/bin.cpp.o.d"
+  "CMakeFiles/hamr_engine.dir/engine.cpp.o"
+  "CMakeFiles/hamr_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/hamr_engine.dir/graph.cpp.o"
+  "CMakeFiles/hamr_engine.dir/graph.cpp.o.d"
+  "CMakeFiles/hamr_engine.dir/loaders.cpp.o"
+  "CMakeFiles/hamr_engine.dir/loaders.cpp.o.d"
+  "CMakeFiles/hamr_engine.dir/runtime.cpp.o"
+  "CMakeFiles/hamr_engine.dir/runtime.cpp.o.d"
+  "libhamr_engine.a"
+  "libhamr_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_gen.dir/generators.cpp.o"
+  "CMakeFiles/hamr_gen.dir/generators.cpp.o.d"
+  "libhamr_gen.a"
+  "libhamr_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_kvstore.dir/kv_store.cpp.o"
+  "CMakeFiles/hamr_kvstore.dir/kv_store.cpp.o.d"
+  "libhamr_kvstore.a"
+  "libhamr_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

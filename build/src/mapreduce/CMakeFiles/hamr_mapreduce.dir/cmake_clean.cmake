@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_mapreduce.dir/job_runner.cpp.o"
+  "CMakeFiles/hamr_mapreduce.dir/job_runner.cpp.o.d"
+  "libhamr_mapreduce.a"
+  "libhamr_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

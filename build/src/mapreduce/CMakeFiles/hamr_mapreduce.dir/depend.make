@@ -1,0 +1,2 @@
+# Empty dependencies file for hamr_mapreduce.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_net.dir/inproc_transport.cpp.o"
+  "CMakeFiles/hamr_net.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/hamr_net.dir/rpc.cpp.o"
+  "CMakeFiles/hamr_net.dir/rpc.cpp.o.d"
+  "CMakeFiles/hamr_net.dir/tcp_transport.cpp.o"
+  "CMakeFiles/hamr_net.dir/tcp_transport.cpp.o.d"
+  "libhamr_net.a"
+  "libhamr_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

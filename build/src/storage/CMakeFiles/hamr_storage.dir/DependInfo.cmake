@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/device.cpp" "src/storage/CMakeFiles/hamr_storage.dir/device.cpp.o" "gcc" "src/storage/CMakeFiles/hamr_storage.dir/device.cpp.o.d"
+  "/root/repo/src/storage/file_store.cpp" "src/storage/CMakeFiles/hamr_storage.dir/file_store.cpp.o" "gcc" "src/storage/CMakeFiles/hamr_storage.dir/file_store.cpp.o.d"
+  "/root/repo/src/storage/run_file.cpp" "src/storage/CMakeFiles/hamr_storage.dir/run_file.cpp.o" "gcc" "src/storage/CMakeFiles/hamr_storage.dir/run_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hamr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

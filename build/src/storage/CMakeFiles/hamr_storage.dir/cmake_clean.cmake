@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hamr_storage.dir/device.cpp.o"
+  "CMakeFiles/hamr_storage.dir/device.cpp.o.d"
+  "CMakeFiles/hamr_storage.dir/file_store.cpp.o"
+  "CMakeFiles/hamr_storage.dir/file_store.cpp.o.d"
+  "CMakeFiles/hamr_storage.dir/run_file.cpp.o"
+  "CMakeFiles/hamr_storage.dir/run_file.cpp.o.d"
+  "libhamr_storage.a"
+  "libhamr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hamr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_integration_test.dir/apps_integration_test.cpp.o"
+  "CMakeFiles/apps_integration_test.dir/apps_integration_test.cpp.o.d"
+  "apps_integration_test"
+  "apps_integration_test.pdb"
+  "apps_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_unit_test.dir/apps_unit_test.cpp.o"
+  "CMakeFiles/apps_unit_test.dir/apps_unit_test.cpp.o.d"
+  "apps_unit_test"
+  "apps_unit_test.pdb"
+  "apps_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_kv_cluster_test.dir/dfs_kv_cluster_test.cpp.o"
+  "CMakeFiles/dfs_kv_cluster_test.dir/dfs_kv_cluster_test.cpp.o.d"
+  "dfs_kv_cluster_test"
+  "dfs_kv_cluster_test.pdb"
+  "dfs_kv_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_kv_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/smoke_test.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/smoke_test.dir/smoke_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/hamr_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hamr_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/hamr_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/hamr_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/hamr_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/hamr_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hamr_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/hamr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hamr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hamr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
