@@ -76,11 +76,13 @@ apps::BenchEnv BenchSetup::make_env() const {
   engine_cfg.flow_control_high_bytes = static_cast<uint64_t>(flow_control_kb * 1024);
   engine_cfg.flow_control_enabled = flow_control;
   engine_cfg.bin_queue_bytes = static_cast<uint64_t>(bin_queue_kb * 1024);
+  engine_cfg.fault_injector = fault_injector;
 
   dfs::DfsConfig dfs_cfg;
   dfs_cfg.block_size = static_cast<uint64_t>(dfs_block_kb * 1024);
 
   apps::BenchEnv env = apps::BenchEnv::make(cluster_cfg, engine_cfg, dfs_cfg);
+  if (fault_injector != nullptr) env.cluster->set_fault_injector(fault_injector);
   env.mr_defaults.job_startup_cost = from_seconds(job_startup_ms * 1e-3);
   env.mr_defaults.task_startup_cost = from_seconds(task_startup_ms * 1e-3);
   env.mr_defaults.map_sort_buffer_bytes =

@@ -12,6 +12,7 @@
 
 #include "apps/common.h"
 #include "common/flags.h"
+#include "fault/fault.h"
 
 namespace hamr::bench {
 
@@ -42,6 +43,10 @@ struct BenchSetup {
   double bin_queue_kb = 1024;     // receiver-side buffered-bin bound
   double ingress_kb = 1024;       // transport ingress buffer
   bool flow_control = true;
+
+  // Optional chaos rig (ablation_faults): wired into the transport, disks,
+  // and engine runtime of every env this setup creates. Not owned.
+  fault::FaultInjector* fault_injector = nullptr;
 
   static BenchSetup from_flags(const Flags& flags);
 

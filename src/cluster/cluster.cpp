@@ -51,4 +51,11 @@ uint64_t Cluster::total_counter(const std::string& name) const {
   return total;
 }
 
+void Cluster::set_fault_injector(fault::FaultInjector* injector) {
+  fabric_->set_fault_injector(injector);
+  for (auto& node : nodes_) {
+    node->disk().set_fault_injector(injector, node->id());
+  }
+}
+
 }  // namespace hamr::cluster

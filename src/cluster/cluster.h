@@ -15,6 +15,7 @@
 
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "fault/fault.h"
 #include "net/inproc_transport.h"
 #include "net/router.h"
 #include "net/rpc.h"
@@ -84,6 +85,11 @@ class Cluster {
 
   // Convenience: cluster-wide value of a single counter.
   uint64_t total_counter(const std::string& name) const;
+
+  // Wires a fault injector (not owned; null detaches) into the transport
+  // fabric and every node's disk device. The engine additionally consumes
+  // the injector's task-crash stream via EngineConfig::fault_injector.
+  void set_fault_injector(fault::FaultInjector* injector);
 
   // Stops the fabric. Called automatically by the destructor; callers that
   // need deterministic teardown order can invoke it earlier.

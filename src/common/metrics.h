@@ -1,10 +1,15 @@
-// Tiny metrics registry: named monotonic counters and gauges.
+// Tiny metrics registry: named monotonic counters, gauges, and fixed-bucket
+// histograms.
 //
 // Every node runtime, transport, and disk device owns a Metrics instance;
 // the benches aggregate them to report bytes spilled, flow-control stalls,
 // network bytes, etc. Counters are atomic so tasks can bump them lock-free.
+// Gauges track instantaneous levels (outstanding frames, queue depths);
+// histograms capture distributions (retry backoff delays, RPC latencies)
+// that a plain counter cannot.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -25,14 +30,118 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
-// A registry of counters, keyed by name. Counter pointers remain stable for
-// the registry's lifetime, so hot paths can cache them.
+// An instantaneous signed level. Unlike Counter it can go down.
+class Gauge {
+ public:
+  void set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void sub(int64_t delta) { value_.fetch_sub(delta, std::memory_order_relaxed); }
+  void inc() { add(1); }
+  void dec() { sub(1); }
+  int64_t get() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+// extra overflow bucket counts the rest. Observation is lock-free (atomic
+// bucket bump), so hot paths can record latencies directly.
+class Histogram {
+ public:
+  // Default bounds: exponential 1us .. ~16s, suitable for latency in
+  // microseconds (the unit used by every engine/net histogram).
+  static std::vector<uint64_t> default_latency_bounds() {
+    std::vector<uint64_t> bounds;
+    for (uint64_t b = 1; b <= (1ull << 24); b *= 2) bounds.push_back(b);
+    return bounds;
+  }
+
+  explicit Histogram(std::vector<uint64_t> bounds = default_latency_bounds())
+      : bounds_(std::move(bounds)),
+        buckets_(std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1)) {
+    for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  }
+
+  void observe(uint64_t value) {
+    // lower_bound: first bound >= value, so each bound is inclusive.
+    const size_t i = static_cast<size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin());
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  size_t num_buckets() const { return bounds_.size() + 1; }
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  // Upper bound of the bucket holding the q-quantile observation (q in
+  // [0, 1]). Returns 0 on an empty histogram; the overflow bucket reports
+  // the last finite bound.
+  uint64_t quantile(double q) const {
+    const uint64_t n = count();
+    if (n == 0 || bounds_.empty()) return 0;
+    const uint64_t rank = static_cast<uint64_t>(
+        std::clamp(q, 0.0, 1.0) * static_cast<double>(n - 1));
+    uint64_t seen = 0;
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      seen += bucket_count(i);
+      if (seen > rank) return bounds_[std::min(i, bounds_.size() - 1)];
+    }
+    return bounds_.back();
+  }
+
+  // Adds another histogram's observations. Requires identical bounds.
+  void merge_from(const Histogram& other) {
+    if (other.bounds_ != bounds_) return;  // incompatible; skip silently
+    for (size_t i = 0; i <= bounds_.size(); ++i) {
+      buckets_[i].fetch_add(other.bucket_count(i), std::memory_order_relaxed);
+    }
+    count_.fetch_add(other.count(), std::memory_order_relaxed);
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// A registry of counters, gauges, and histograms, keyed by name. Pointers
+// remain stable for the registry's lifetime, so hot paths can cache them.
 class Metrics {
  public:
   Counter* counter(const std::string& name) {
     std::lock_guard<std::mutex> lock(mu_);
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<Counter>();
+    return slot.get();
+  }
+
+  Gauge* gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return slot.get();
+  }
+
+  // First caller fixes the bounds; later callers get the existing histogram.
+  Histogram* histogram(const std::string& name,
+                       std::vector<uint64_t> bounds =
+                           Histogram::default_latency_bounds()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
     return slot.get();
   }
 
@@ -51,14 +160,39 @@ class Metrics {
     return it == counters_.end() ? 0 : it->second->get();
   }
 
-  // Adds every counter of `other` into this registry (for cluster-wide sums).
+  int64_t gauge_value(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second->get();
+  }
+
+  // Adds every counter/gauge/histogram of `other` into this registry (for
+  // cluster-wide sums).
   void merge_from(const Metrics& other) {
     for (const auto& [name, value] : other.snapshot()) counter(name)->add(value);
+    // Collect stable pointers under the source lock, merge outside it (their
+    // contents are atomic), so two registries can merge concurrently without
+    // lock-order inversion.
+    std::vector<std::pair<std::string, const Gauge*>> gauges;
+    std::vector<std::pair<std::string, const Histogram*>> histograms;
+    {
+      std::lock_guard<std::mutex> lock(other.mu_);
+      for (const auto& [name, g] : other.gauges_) gauges.emplace_back(name, g.get());
+      for (const auto& [name, h] : other.histograms_) {
+        histograms.emplace_back(name, h.get());
+      }
+    }
+    for (const auto& [name, g] : gauges) gauge(name)->add(g->get());
+    for (const auto& [name, h] : histograms) {
+      histogram(name, h->bounds())->merge_from(*h);
+    }
   }
 
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 }  // namespace hamr

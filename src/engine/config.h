@@ -5,6 +5,10 @@
 
 #include "common/clock.h"
 
+namespace hamr::fault {
+class FaultInjector;
+}  // namespace hamr::fault
+
 namespace hamr::engine {
 
 struct EngineConfig {
@@ -53,6 +57,14 @@ struct EngineConfig {
   // Loader tasks emit in chunks of this many records, re-checking flow
   // control between chunks (fine-grain loading).
   uint64_t loader_chunk_records = 2048;
+
+  // Fault tolerance. When an injector is attached (not owned; must outlive
+  // the engine) the runtime consults it for task-crash points and reads its
+  // retry/resend policy; attaching one also enables the reliable shuffle
+  // channel. `reliable_shuffle` turns on the seq/ack channel even without an
+  // injector (e.g. over a lossy transport).
+  fault::FaultInjector* fault_injector = nullptr;
+  bool reliable_shuffle = false;
 
   // Convenience: cost-model-free config for correctness tests.
   static EngineConfig fast() {

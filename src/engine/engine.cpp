@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 
 namespace hamr::engine {
 
@@ -22,8 +23,10 @@ internal::PartialTable* make_table(uint32_t stripes, double gate_rate) {
 
 // Counters that feed JobResult deltas.
 const char* const kDeltaCounters[] = {
-    "engine.records", "engine.bins",   "engine.bin_bytes",
-    "engine.spill_bytes", "engine.stalls", "engine.stall_ns",
+    "engine.records",      "engine.bins",          "engine.bin_bytes",
+    "engine.spill_bytes",  "engine.stalls",        "engine.stall_ns",
+    "engine.task_retries", "engine.spill_retries", "engine.resends",
+    "engine.dup_frames",
 };
 
 }  // namespace
@@ -67,6 +70,8 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
   // Baseline counter snapshot for the result deltas.
   std::map<std::string, uint64_t> before;
   for (const char* name : kDeltaCounters) before[name] = total_counter(name);
+  const uint64_t faults_before =
+      config_.fault_injector != nullptr ? config_.fault_injector->stats().total() : 0;
 
   // Distinct upstream flowlet count per flowlet (channels arrive per node).
   std::vector<uint32_t> distinct_upstreams(graph.num_flowlets(), 0);
@@ -186,6 +191,16 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
       static_cast<double>(total_counter("engine.stall_ns") -
                           before["engine.stall_ns"]) *
       1e-9;
+  result.task_retries =
+      total_counter("engine.task_retries") - before["engine.task_retries"];
+  result.spill_retries =
+      total_counter("engine.spill_retries") - before["engine.spill_retries"];
+  result.frames_resent = total_counter("engine.resends") - before["engine.resends"];
+  result.duplicate_frames =
+      total_counter("engine.dup_frames") - before["engine.dup_frames"];
+  if (config_.fault_injector != nullptr) {
+    result.faults_injected = config_.fault_injector->stats().total() - faults_before;
+  }
   return result;
 }
 

@@ -28,6 +28,12 @@ struct JobResult {
   uint64_t spill_bytes = 0;
   uint64_t flow_control_stalls = 0;
   double flow_control_stall_seconds = 0;
+  // Fault recovery (all zero on a fault-free run without an injector):
+  uint64_t task_retries = 0;       // crashed flowlet tasks re-enqueued
+  uint64_t spill_retries = 0;      // failed spill writes retried
+  uint64_t frames_resent = 0;      // reliable-channel retransmissions
+  uint64_t duplicate_frames = 0;   // frames suppressed by seq dedup
+  uint64_t faults_injected = 0;    // injector events during this job
 };
 
 class Engine {

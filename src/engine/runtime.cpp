@@ -6,6 +6,7 @@
 #include "common/hash.h"
 #include "common/logging.h"
 #include "engine/engine.h"
+#include "fault/fault.h"
 #include "storage/run_file.h"
 
 namespace hamr::engine {
@@ -27,6 +28,13 @@ uint32_t stripe_of(std::string_view key, uint32_t stripes) {
   return stripes <= 1
              ? 0
              : static_cast<uint32_t>(hash_combine(hash_bytes(key), 0x9d13) % stripes);
+}
+
+// Exponential backoff: base doubled per attempt, capped.
+Duration backoff_after(Duration base, Duration cap, uint32_t attempt) {
+  Duration d = base;
+  for (uint32_t i = 0; i < attempt && d < cap; ++i) d += d;
+  return std::min(d, cap);
 }
 
 }  // namespace
@@ -180,6 +188,16 @@ NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
   node_->router().register_type(
       net::msg_type::kEngineControl,
       [this](net::Message&& m) { on_control_message(std::move(m)); });
+  node_->router().register_type(
+      net::msg_type::kEngineFrame,
+      [this](net::Message&& m) { on_frame_message(std::move(m)); });
+  node_->router().register_type(
+      net::msg_type::kEngineAck,
+      [this](net::Message&& m) { on_ack_message(std::move(m)); });
+  // One reliable channel per peer, even when the reliable layer is off (the
+  // structs are tiny and the handlers above are always registered).
+  send_channels_.resize(engine_->cluster().size());
+  recv_channels_.resize(engine_->cluster().size());
   const uint32_t workers = engine_->cluster().config().threads_per_node;
   workers_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
@@ -193,6 +211,15 @@ NodeRuntime::~NodeRuntime() {
   sched_cv_.notify_all();
   sched_space_.notify_all();
   out_cv_.notify_all();
+  // Under fault plans the transport can still hold delayed duplicates or
+  // resends after the job completes; unregistering blocks until in-flight
+  // dispatches into this runtime drain (they wake via stopping_ above), and
+  // later stragglers are dropped as unroutable instead of hitting freed
+  // memory.
+  node_->router().unregister_type(net::msg_type::kEngineBin);
+  node_->router().unregister_type(net::msg_type::kEngineControl);
+  node_->router().unregister_type(net::msg_type::kEngineFrame);
+  node_->router().unregister_type(net::msg_type::kEngineAck);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
@@ -266,6 +293,90 @@ void NodeRuntime::on_control_message(net::Message&& msg) {
   item.src = msg.src;
   item.payload = std::move(msg.payload);
   enqueue_item(std::move(item));
+}
+
+// Reliable channel ingress: unwrap the frame, suppress duplicates, stash
+// out-of-order arrivals, and hand the in-order prefix to the regular bin /
+// control handlers - restoring exactly the per-(src,dst) FIFO the completion
+// protocol relies on. The cumulative ack goes out *before* inner delivery:
+// delivery can block on the bin-queue budget (receiver backpressure), and a
+// stalled ack would make the sender retransmit frames we already hold.
+void NodeRuntime::on_frame_message(net::Message&& msg) {
+  const uint32_t src = msg.src;
+  uint64_t seq = 0;
+  uint32_t inner_type = 0;
+  std::string inner;
+  try {
+    serde::Reader r(msg.payload);
+    seq = r.get_varint();
+    inner_type = static_cast<uint32_t>(r.get_varint());
+    inner = std::string(r.get_bytes());
+  } catch (const serde::DecodeError& e) {
+    HLOG_ERROR << "node " << node_id() << " malformed frame from " << src << ": "
+               << e.what();
+    return;
+  }
+
+  std::vector<std::pair<uint32_t, std::string>> deliverable;
+  uint64_t ack = 0;
+  {
+    RecvChannel& ch = recv_channels_.at(src);
+    std::lock_guard<std::mutex> lock(ch.mu);
+    if (seq < ch.next_expected || ch.stash.count(seq) != 0) {
+      // Retransmission of a frame we already have (its ack was lost or late).
+      metrics().counter("engine.dup_frames")->inc();
+    } else {
+      ch.stash.emplace(seq, std::make_pair(inner_type, std::move(inner)));
+      for (auto it = ch.stash.find(ch.next_expected); it != ch.stash.end();
+           it = ch.stash.find(ch.next_expected)) {
+        deliverable.push_back(std::move(it->second));
+        ch.stash.erase(it);
+        ++ch.next_expected;
+      }
+    }
+    ack = ch.next_expected;
+  }
+
+  ByteBuffer buf;
+  serde::Writer w(buf);
+  w.put_varint(ack);
+  raw_enqueue_out(src, net::msg_type::kEngineAck, std::string(buf.view()));
+
+  for (auto& [type, payload] : deliverable) {
+    net::Message m;
+    m.type = type;
+    m.src = src;
+    m.payload = std::move(payload);
+    if (type == net::msg_type::kEngineControl) {
+      on_control_message(std::move(m));
+    } else {
+      on_bin_message(std::move(m));
+    }
+  }
+}
+
+void NodeRuntime::on_ack_message(net::Message&& msg) {
+  uint64_t cum = 0;
+  try {
+    serde::Reader r(msg.payload);
+    cum = r.get_varint();
+  } catch (const serde::DecodeError& e) {
+    HLOG_ERROR << "node " << node_id() << " malformed ack from " << msg.src << ": "
+               << e.what();
+    return;
+  }
+  SendChannel& ch = send_channels_.at(msg.src);
+  uint64_t erased = 0;
+  {
+    std::lock_guard<std::mutex> lock(ch.mu);
+    for (auto it = ch.unacked.begin(); it != ch.unacked.end() && it->first < cum;
+         it = ch.unacked.erase(it)) {
+      ++erased;
+    }
+  }
+  if (erased != 0) {
+    metrics().gauge("engine.unacked_frames")->sub(static_cast<int64_t>(erased));
+  }
 }
 
 void NodeRuntime::enqueue_item(QueueItem&& item) {
@@ -351,6 +462,15 @@ void NodeRuntime::process_bin(const QueueItem& item) {
   const GraphEdge& edge = job->graph->edge(view.edge());
   internal::FlowletState& fs = *job->flowlets[edge.dst];
 
+  // Injected task crash: happens at task start, before any emission or state
+  // mutation, so a retry redoes the bin cleanly. The retry path keeps the
+  // flowlet's pending_bins reference - completion cannot race past a bin
+  // that is merely waiting to be retried.
+  if (should_crash_task(edge.dst, item.attempts)) {
+    retry_bin(item);
+    return;
+  }
+
   switch (fs.kind) {
     case FlowletKind::kMap: {
       TaskContext ctx(this, job.get(), edge.dst);
@@ -399,12 +519,28 @@ void NodeRuntime::process_control(const QueueItem& item) {
 // --- loader path -------------------------------------------------------------
 
 void NodeRuntime::run_split_chunk(FlowletId loader, const InputSplit& split,
-                                  uint64_t cursor) {
+                                  uint64_t cursor, uint32_t attempt) {
   auto job = current_job();
   if (!job) return;
 
   if (config_.flow_control_enabled && backpressured()) {
-    defer_task([this, loader, split, cursor] { run_split_chunk(loader, split, cursor); });
+    defer_task([this, loader, split, cursor, attempt] {
+      run_split_chunk(loader, split, cursor, attempt);
+    });
+    return;
+  }
+
+  // Injected crash at chunk start (after the defer check, so parked tasks do
+  // not consume crash slots): the cursor has not advanced, so the retry
+  // reloads exactly the same chunk - loaders are pure functions of the
+  // cursor.
+  if (should_crash_task(loader, attempt)) {
+    metrics().counter("engine.task_retries")->inc();
+    const Duration nap = retry_backoff(attempt);
+    submit_task([this, loader, split, cursor, attempt, nap] {
+      std::this_thread::sleep_for(nap);
+      run_split_chunk(loader, split, cursor, attempt + 1);
+    });
     return;
   }
 
@@ -492,9 +628,7 @@ void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs
                        [](const auto& a, const auto& b) { return a.first < b.first; });
       storage::RunWriter writer(&node_->store(), spill_file);
       for (const auto& [k, v] : to_spill) writer.add(k, v);
-      const uint64_t written = writer.close();
-      metrics().counter("engine.spills")->inc();
-      metrics().counter("engine.spill_bytes")->add(written);
+      write_spill_with_retry(writer);
     }
   }
 }
@@ -509,9 +643,24 @@ void NodeRuntime::fire_reduce(FlowletId flowlet) {
   }
 }
 
-void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index) {
+void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
+                                   uint32_t attempt) {
   auto job = current_job();
   internal::FlowletState& fs = *job->flowlets[flowlet];
+
+  // Injected crash at stage start: staged records and spill runs are still
+  // intact (they are only consumed below), so the retry re-merges the same
+  // inputs and emits identical output.
+  if (should_crash_task(flowlet, attempt)) {
+    metrics().counter("engine.task_retries")->inc();
+    const Duration nap = retry_backoff(attempt);
+    submit_task([this, flowlet, stage_index, attempt, nap] {
+      std::this_thread::sleep_for(nap);
+      run_reduce_stage(flowlet, stage_index, attempt + 1);
+    });
+    return;
+  }
+
   internal::ReduceStage& stage = *fs.stages[stage_index];
   auto* red = static_cast<ReduceFlowlet*>(fs.instance.get());
 
@@ -725,30 +874,237 @@ void NodeRuntime::flush_window(FlowletId flowlet) {
   }
 }
 
+// --- fault recovery ----------------------------------------------------------
+
+bool NodeRuntime::should_crash_task(FlowletId flowlet, uint32_t attempt) {
+  fault::FaultInjector* injector = config_.fault_injector;
+  if (injector == nullptr) return false;
+  if (!injector->on_task_start(node_id(), flowlet)) return false;
+  if (attempt >= injector->plan().max_task_retries) {
+    // Past the retry bound the task proceeds anyway (logged): dropping the
+    // bin would silently lose data, which no retry policy may do.
+    HLOG_ERROR << "node " << node_id() << " flowlet " << flowlet << " crashed "
+               << attempt << " times; executing despite injected crash";
+    return false;
+  }
+  return true;
+}
+
+Duration NodeRuntime::retry_backoff(uint32_t attempt) const {
+  Duration base = millis(1);
+  Duration cap = millis(64);
+  if (config_.fault_injector != nullptr) {
+    base = config_.fault_injector->plan().retry_backoff;
+    cap = config_.fault_injector->plan().retry_backoff_cap;
+  }
+  return backoff_after(base, cap, attempt);
+}
+
+void NodeRuntime::retry_bin(const QueueItem& item) {
+  metrics().counter("engine.task_retries")->inc();
+  const Duration nap = retry_backoff(item.attempts);
+  metrics().histogram("engine.retry_backoff_us")->observe(
+      static_cast<uint64_t>(nap.count() / 1000));
+  QueueItem copy = item;
+  ++copy.attempts;
+  // Re-enqueue through a task so the bin queue is never wedged by a crashing
+  // bin: the worker naps the (bounded) backoff, then pushes the bin back
+  // WITHOUT the capacity wait - blocking here could deadlock against the
+  // delivery thread, and the item's bytes were budgeted before the pop.
+  submit_task([this, item = std::move(copy), nap]() mutable {
+    std::this_thread::sleep_for(nap);
+    {
+      std::lock_guard<std::mutex> lock(sched_mu_);
+      bin_queue_bytes_ += item.payload.size();
+      bin_queue_.push_back(std::move(item));
+    }
+    sched_cv_.notify_one();
+  });
+}
+
+void NodeRuntime::write_spill_with_retry(storage::RunWriter& writer) {
+  const uint32_t max_retries = config_.fault_injector != nullptr
+                                   ? config_.fault_injector->plan().max_write_retries
+                                   : 0;
+  for (uint32_t attempt = 0;; ++attempt) {
+    Result<uint64_t> written = writer.finish();
+    if (written.ok()) {
+      metrics().counter("engine.spills")->inc();
+      metrics().counter("engine.spill_bytes")->add(written.value());
+      return;
+    }
+    if (attempt >= max_retries) {
+      // Persistent injected failure: fall back to the infallible write so the
+      // job still completes with correct output (and say so loudly).
+      HLOG_ERROR << "node " << node_id() << " spill write failed "
+                 << (attempt + 1) << " times (" << written.status().ToString()
+                 << "); forcing unchecked write";
+      const uint64_t bytes = writer.close();
+      metrics().counter("engine.spills")->inc();
+      metrics().counter("engine.spill_bytes")->add(bytes);
+      return;
+    }
+    metrics().counter("engine.spill_retries")->inc();
+    std::this_thread::sleep_for(retry_backoff(attempt));
+  }
+}
+
 // --- egress --------------------------------------------------------------
 
 void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) {
+  // Reliable shuffle: wrap engine payloads destined for a *remote* node in a
+  // sequence-numbered frame and remember it for retransmission until the
+  // cumulative ack passes it. Local traffic is never faulted (the transport
+  // guarantees this), so it skips the frame overhead entirely.
+  if (reliable() && dst != node_id() &&
+      (type == net::msg_type::kEngineBin ||
+       type == net::msg_type::kEngineControl)) {
+    SendChannel& ch = send_channels_.at(dst);
+    ByteBuffer buf;
+    serde::Writer w(buf);
+    {
+      std::lock_guard<std::mutex> lock(ch.mu);
+      const uint64_t seq = ch.next_seq++;
+      w.put_varint(seq);
+      w.put_varint(type);
+      w.put_bytes(payload);
+      SendChannel::Unacked& u = ch.unacked[seq];
+      u.frame = std::string(buf.view());
+      // Armed for real by the sender thread once the frame leaves the node;
+      // until then the frame is in our own outbox and cannot be "lost".
+      u.next_resend = TimePoint::max();
+      u.attempts = 0;
+    }
+    metrics().gauge("engine.unacked_frames")->inc();
+    raw_enqueue_out(dst, net::msg_type::kEngineFrame, std::string(buf.view()));
+    return;
+  }
+  raw_enqueue_out(dst, type, std::move(payload));
+}
+
+void NodeRuntime::raw_enqueue_out(uint32_t dst, uint32_t type, std::string payload) {
   outbox_bytes_.fetch_add(payload.size());
   {
     std::lock_guard<std::mutex> lock(out_mu_);
-    outbox_.push_back(OutMsg{dst, type, std::move(payload)});
+    // Acks jump the queue: they are tiny, cumulative (reordering them ahead
+    // of data is harmless), and a sender waiting behind megabytes of queued
+    // bins would retransmit frames the receiver already holds.
+    if (type == net::msg_type::kEngineAck) {
+      outbox_.push_front(OutMsg{dst, type, std::move(payload)});
+    } else {
+      outbox_.push_back(OutMsg{dst, type, std::move(payload)});
+    }
   }
   out_cv_.notify_one();
 }
 
 void NodeRuntime::sender_loop() {
+  // With the reliable layer on, the sender doubles as the retransmission
+  // timer: it wakes periodically even with an empty outbox and re-pushes any
+  // unacked frames whose resend deadline has passed.
+  const bool rel = reliable();
+  TimePoint next_check = now() + resend_check_every();
   for (;;) {
     OutMsg msg;
+    bool have = false;
     {
       std::unique_lock<std::mutex> lock(out_mu_);
-      out_cv_.wait(lock, [&] { return stopping_.load() || !outbox_.empty(); });
-      if (outbox_.empty()) return;  // stopping and drained
-      msg = std::move(outbox_.front());
-      outbox_.pop_front();
+      if (rel) {
+        out_cv_.wait_until(lock, next_check, [&] {
+          return stopping_.load() || !outbox_.empty();
+        });
+      } else {
+        out_cv_.wait(lock, [&] { return stopping_.load() || !outbox_.empty(); });
+      }
+      if (stopping_.load() && outbox_.empty()) return;
+      if (!outbox_.empty()) {
+        msg = std::move(outbox_.front());
+        outbox_.pop_front();
+        have = true;
+      }
     }
-    const uint64_t size = msg.payload.size();
-    node_->router().endpoint()->send(msg.dst, msg.type, std::move(msg.payload));
-    outbox_bytes_.fetch_sub(size);
+    if (have) {
+      const uint64_t size = msg.payload.size();
+      uint64_t frame_seq = 0;
+      bool is_frame = false;
+      if (rel && msg.type == net::msg_type::kEngineFrame) {
+        serde::Reader r(msg.payload);
+        frame_seq = r.get_varint();
+        is_frame = true;
+      }
+      node_->router().endpoint()->send(msg.dst, msg.type, std::move(msg.payload));
+      outbox_bytes_.fetch_sub(size);
+      if (is_frame) {
+        // Arm (or re-arm) the retransmission timer only now that the frame
+        // has actually left the node: send() can block for a long time on
+        // outbox drain order, NIC serialization, and the receiver's bounded
+        // ingress, and none of that time is evidence of loss.
+        SendChannel& ch = send_channels_.at(msg.dst);
+        std::lock_guard<std::mutex> lock(ch.mu);
+        auto it = ch.unacked.find(frame_seq);
+        if (it != ch.unacked.end()) {
+          it->second.next_resend = now() + resend_timeout(it->second.attempts);
+        }
+      }
+    }
+    if (rel && now() >= next_check) {
+      resend_due_frames();
+      next_check = now() + resend_check_every();
+    }
+  }
+}
+
+Duration NodeRuntime::resend_timeout(uint32_t attempts) const {
+  const Duration base = config_.fault_injector != nullptr
+                            ? config_.fault_injector->plan().resend_after
+                            : millis(150);
+  return backoff_after(base, base * 16, attempts);
+}
+
+Duration NodeRuntime::resend_check_every() const {
+  return std::max<Duration>(resend_timeout(0) / 4, millis(5));
+}
+
+void NodeRuntime::resend_due_frames() {
+  const TimePoint t = now();
+  const uint32_t max_attempts =
+      config_.fault_injector != nullptr
+          ? config_.fault_injector->plan().max_resend_attempts
+          : 30;
+  for (uint32_t dst = 0; dst < send_channels_.size(); ++dst) {
+    SendChannel& ch = send_channels_[dst];
+    std::vector<std::string> due;
+    uint64_t lost = 0;
+    {
+      std::lock_guard<std::mutex> lock(ch.mu);
+      for (auto it = ch.unacked.begin(); it != ch.unacked.end();) {
+        SendChannel::Unacked& u = it->second;
+        if (u.next_resend > t) {
+          ++it;
+          continue;
+        }
+        if (u.attempts >= max_attempts) {
+          HLOG_ERROR << "node " << node_id() << " frame seq " << it->first
+                     << " to node " << dst << " unacked after " << u.attempts
+                     << " resends; giving up";
+          ++lost;
+          it = ch.unacked.erase(it);
+          continue;
+        }
+        ++u.attempts;
+        u.next_resend = t + resend_timeout(u.attempts);
+        due.push_back(u.frame);
+        ++it;
+      }
+    }
+    if (lost != 0) {
+      metrics().counter("engine.frames_lost")->add(lost);
+      metrics().gauge("engine.unacked_frames")->sub(static_cast<int64_t>(lost));
+    }
+    for (std::string& frame : due) {
+      metrics().counter("engine.resends")->inc();
+      raw_enqueue_out(dst, net::msg_type::kEngineFrame, std::move(frame));
+    }
   }
 }
 

@@ -18,6 +18,16 @@
 // the transport's bounded ingress stalls the sender thread itself when a
 // receiver falls behind - the end-to-end analog of the paper's "output bin
 // buffer full" rule.
+//
+// Fault tolerance (see DESIGN.md "Fault model & recovery"): with a fault
+// injector attached (or reliable_shuffle set), engine bins and control
+// messages travel as sequence-numbered frames over a per-(src,dst) reliable
+// channel - cumulative acks, timeout resend with exponential backoff, and
+// receiver-side reordering + duplicate suppression that restores exactly the
+// per-channel FIFO the completion protocol relies on. Task crashes injected
+// at task start re-enqueue the task's bin (or split chunk / reduce stage)
+// after a bounded exponential backoff instead of wedging the bin queue, and
+// failed spill writes are retried the same way.
 #pragma once
 
 #include <atomic>
@@ -39,6 +49,10 @@
 #include "engine/graph.h"
 #include "engine/rate_gate.h"
 #include "engine/split.h"
+
+namespace hamr::storage {
+class RunWriter;
+}  // namespace hamr::storage
 
 namespace hamr::engine {
 
@@ -127,7 +141,26 @@ class NodeRuntime {
   struct QueueItem {
     bool is_control = false;
     uint32_t src = 0;
+    uint32_t attempts = 0;  // crash-retry count for this bin
     std::string payload;
+  };
+
+  // Reliable shuffle channel state (active when reliable()).
+  struct SendChannel {
+    std::mutex mu;
+    uint64_t next_seq = 0;
+    struct Unacked {
+      std::string frame;       // full framed payload, for retransmission
+      TimePoint next_resend{};
+      uint32_t attempts = 0;
+    };
+    std::map<uint64_t, Unacked> unacked;
+  };
+  struct RecvChannel {
+    std::mutex mu;
+    uint64_t next_expected = 0;
+    // Out-of-order frames staged until the gap fills: seq -> (type, payload).
+    std::map<uint64_t, std::pair<uint32_t, std::string>> stash;
   };
 
   // --- job lifecycle (driven by Engine) ---
@@ -141,6 +174,8 @@ class NodeRuntime {
   // --- ingress (called on transport delivery thread) ---
   void on_bin_message(net::Message&& msg);
   void on_control_message(net::Message&& msg);
+  void on_frame_message(net::Message&& msg);  // reliable channel ingress
+  void on_ack_message(net::Message&& msg);
   void enqueue_item(QueueItem&& item);
 
   // --- worker-side processing ---
@@ -149,22 +184,39 @@ class NodeRuntime {
   void defer_task(std::function<void()> task);
   void process_bin(const QueueItem& item);
   void process_control(const QueueItem& item);
-  void run_split_chunk(FlowletId loader, const InputSplit& split, uint64_t cursor);
+  void run_split_chunk(FlowletId loader, const InputSplit& split, uint64_t cursor,
+                       uint32_t attempt = 0);
   void stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs, BinView& bin);
   void fold_partial_bin(internal::FlowletState& fs, BinView& bin);
   void maybe_schedule_finish(FlowletId flowlet);
   void run_finish(FlowletId flowlet);
   void fire_reduce(FlowletId flowlet);
-  void run_reduce_stage(FlowletId flowlet, uint32_t stage_index);
+  void run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
+                        uint32_t attempt = 0);
   void flowlet_locally_complete(FlowletId flowlet);
   void broadcast_complete(FlowletId flowlet);
   void flush_combine_stripe(internal::JobState& job, EdgeId edge_id,
                             uint32_t stripe_index);
   void flush_window(FlowletId flowlet);  // streaming punctuation
 
+  // --- fault recovery ---
+  bool reliable() const {
+    return config_.fault_injector != nullptr || config_.reliable_shuffle;
+  }
+  // True if this task execution must crash (injected) AND may still retry;
+  // retries past the bound proceed (logged) so data is never silently lost.
+  bool should_crash_task(FlowletId flowlet, uint32_t attempt);
+  Duration retry_backoff(uint32_t attempt) const;
+  void retry_bin(const QueueItem& item);
+  void write_spill_with_retry(storage::RunWriter& writer);
+
   // --- egress ---
   void enqueue_out(uint32_t dst, uint32_t type, std::string payload);
+  void raw_enqueue_out(uint32_t dst, uint32_t type, std::string payload);
   void sender_loop();
+  Duration resend_timeout(uint32_t attempts) const;
+  Duration resend_check_every() const;
+  void resend_due_frames();
   bool backpressured() const;
 
   std::string spill_path(FlowletId flowlet, uint32_t stage, uint64_t n) const;
@@ -198,6 +250,12 @@ class NodeRuntime {
   std::deque<OutMsg> outbox_;
   std::atomic<uint64_t> outbox_bytes_{0};
   std::thread sender_;
+
+  // Reliable shuffle channels, one per peer node (deque: immovable mutex
+  // members, constructed in place). Allocated in the constructor; state
+  // persists across jobs (sequence numbers keep counting).
+  std::deque<SendChannel> send_channels_;  // indexed by destination
+  std::deque<RecvChannel> recv_channels_;  // indexed by source
 
   // Reduce staging memory accounting (node-wide).
   std::atomic<uint64_t> staged_bytes_{0};

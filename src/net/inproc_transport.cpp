@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "fault/fault.h"
 
 namespace hamr::net {
 
@@ -55,6 +56,32 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
   Message msg{type, src, std::move(payload)};
   const uint64_t size = msg.payload.size();
   const bool local = src == dst;
+
+  // Fault injection (chaos testing): the injector may drop the message on
+  // the modeled wire, deliver it twice, or add in-network delay. Local
+  // traffic never crosses the fabric and is never faulted.
+  uint32_t copies = 1;
+  Duration fault_delay = Duration::zero();
+  if (fault::FaultInjector* fi = fault_injector_.load(std::memory_order_acquire);
+      fi != nullptr && !local) {
+    const fault::MessageFaultResult f = fi->on_message(src, dst, type);
+    switch (f.action) {
+      case fault::MessageFault::kDrop:
+        if (Metrics* m = metrics_[src]; m != nullptr) {
+          m->counter("net.fault_dropped")->inc();
+        }
+        return;
+      case fault::MessageFault::kDuplicate:
+        copies = 2;
+        break;
+      case fault::MessageFault::kDelay:
+        fault_delay = f.delay;
+        break;
+      case fault::MessageFault::kNone:
+        break;
+    }
+  }
+
   const bool model = config_.enabled && !local;
   const uint64_t billed = std::max<uint64_t>(size, config_.min_message_bytes);
   const Duration wire_time =
@@ -71,12 +98,14 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
   }
 
   NodeState& d = *nodes_[dst];
-  {
+  for (uint32_t copy = 0; copy < copies; ++copy) {
+    Message enqueue_msg =
+        copy + 1 < copies ? Message{msg.type, msg.src, msg.payload} : std::move(msg);
     std::unique_lock<std::mutex> lock(d.mu);
     // Local sends and priority (RPC-response) traffic bypass the ingress
     // bound; see is_priority_type() for the deadlock-freedom argument.
     d.ingress_space.wait(lock, [&] {
-      return stopping_.load() || local || is_priority_type(msg.type) ||
+      return stopping_.load() || local || is_priority_type(enqueue_msg.type) ||
              d.queued_bytes + size <= config_.ingress_capacity_bytes ||
              d.queue.empty();  // never refuse when empty (oversized message)
     });
@@ -88,10 +117,12 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
       const TimePoint rx_start = std::max(arrival, d.rx_busy_until);
       deliver_at = rx_start + wire_time;
       d.rx_busy_until = deliver_at;
+      deliver_at += fault_delay;  // in-network delay: holds rx slot time only
     } else {
-      deliver_at = now();
+      deliver_at = now() + fault_delay;
     }
-    d.queue.push(Pending{deliver_at, seq_.fetch_add(1), std::move(msg), billed});
+    d.queue.push(
+        Pending{deliver_at, seq_.fetch_add(1), std::move(enqueue_msg), billed});
     d.queued_bytes += size;
     d.ingress_ready.notify_one();
   }
@@ -101,8 +132,8 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
     m->counter("net.tx_msgs")->inc();
   }
   if (Metrics* m = metrics_[dst]; m != nullptr && !local) {
-    m->counter("net.rx_bytes")->add(size);
-    m->counter("net.rx_msgs")->inc();
+    m->counter("net.rx_bytes")->add(size * copies);
+    m->counter("net.rx_msgs")->add(copies);
   }
 }
 
@@ -116,10 +147,13 @@ void InProcTransport::delivery_loop(NodeId node) {
       if (stopping_.load()) return;
       const TimePoint at = s.queue.top().deliver_at;
       if (at > now()) {
-        // Wait until the modeled arrival time (or an earlier message shows
-        // up, which cannot happen since deliver_at is monotone per queue pop,
-        // or shutdown).
-        s.ingress_ready.wait_until(lock, at, [&] { return stopping_.load(); });
+        // Wait until the modeled arrival time, shutdown, or the arrival of a
+        // message due earlier (possible when fault injection delays some
+        // messages: deliver_at is no longer monotone per queue pop).
+        s.ingress_ready.wait_until(lock, at, [&] {
+          return stopping_.load() ||
+                 (!s.queue.empty() && s.queue.top().deliver_at < at);
+        });
         if (stopping_.load()) return;
         if (s.queue.empty()) continue;
         if (s.queue.top().deliver_at > now()) continue;  // spurious wake; re-wait

@@ -23,6 +23,10 @@
 #include "common/metrics.h"
 #include "net/message.h"
 
+namespace hamr::fault {
+class FaultInjector;
+}  // namespace hamr::fault
+
 namespace hamr::net {
 
 struct NetConfig {
@@ -52,6 +56,13 @@ class InProcTransport {
   // Optional per-node metrics sinks for net.tx/rx counters. Must be called
   // before start() (two-phase bring-up: nodes are built after the fabric).
   void set_metrics(std::vector<Metrics*> node_metrics);
+
+  // Attaches a fault injector (not owned; may be null to detach). Every
+  // subsequent send of a faultable message type consults it for
+  // drop/duplicate/delay. Safe to call while the fabric is running.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
+  }
 
   // Begins delivery. Handlers for every endpoint must already be set.
   void start();
@@ -115,6 +126,7 @@ class InProcTransport {
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::unique_ptr<EndpointImpl>> endpoints_;
   std::vector<Metrics*> metrics_;
+  std::atomic<fault::FaultInjector*> fault_injector_{nullptr};
   std::atomic<uint64_t> seq_{0};
   std::atomic<bool> stopping_{false};
   bool started_ = false;

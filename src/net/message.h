@@ -52,6 +52,10 @@ inline constexpr uint32_t kRpcRequest = 1;
 inline constexpr uint32_t kRpcResponse = 2;
 inline constexpr uint32_t kEngineBin = 16;
 inline constexpr uint32_t kEngineControl = 17;
+// Reliable engine channel (fault-tolerant shuffle): a frame wraps a bin or
+// control payload with a per-(src,dst) sequence number; acks are cumulative.
+inline constexpr uint32_t kEngineFrame = 18;
+inline constexpr uint32_t kEngineAck = 19;
 }  // namespace msg_type
 
 // RPC responses ride a priority lane: they are the back-edges that unblock

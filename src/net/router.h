@@ -31,24 +31,31 @@ class Router {
     }
   }
 
+  // Removes the handler for `type`. Blocks until no dispatch is invoking any
+  // handler, so after this returns the handler's captures may be destroyed.
+  // A handler whose teardown path calls this must first unblock itself (see
+  // NodeRuntime::~NodeRuntime), or the two will deadlock.
+  void unregister_type(uint32_t type) {
+    std::unique_lock lock(mu_);
+    handlers_.erase(type);
+  }
+
   Endpoint* endpoint() { return ep_; }
 
  private:
   void dispatch(Message&& msg) {
-    const MessageHandler* handler = nullptr;
-    {
-      std::shared_lock lock(mu_);
-      auto it = handlers_.find(msg.type);
-      if (it != handlers_.end()) handler = &it->second;
-    }
-    if (handler == nullptr) {
+    // The shared lock is held across the handler call so unregister_type can
+    // act as a barrier against in-flight dispatches. Handlers must not
+    // (un)register types on their own router; sends from inside a handler are
+    // fine (delivery happens on the destination's delivery thread).
+    std::shared_lock lock(mu_);
+    auto it = handlers_.find(msg.type);
+    if (it == handlers_.end()) {
       HLOG_WARN << "node " << ep_->node_id() << " dropped unroutable message type "
                 << msg.type;
       return;
     }
-    // Invoked outside the lock; handlers are never unregistered, so the
-    // pointer stays valid (map nodes are stable).
-    (*handler)(std::move(msg));
+    (it->second)(std::move(msg));
   }
 
   Endpoint* ep_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "fault/fault.h"
+
 namespace hamr::storage {
 
 ThrottledDevice::ThrottledDevice(DeviceConfig config, Metrics* metrics)
@@ -27,6 +29,18 @@ void ThrottledDevice::charge(uint64_t bytes) {
     metrics_->counter("disk.ops")->inc();
   }
   std::this_thread::sleep_until(finish);
+}
+
+Status ThrottledDevice::charge_write(uint64_t bytes) {
+  if (fault::FaultInjector* fi = fault_injector_.load(std::memory_order_acquire);
+      fi != nullptr && fi->on_disk_write(node_id_)) {
+    charge_seek();  // the failed attempt still costs positioning time
+    if (metrics_ != nullptr) metrics_->counter("disk.write_errors")->inc();
+    return Status::Unavailable("injected disk write error on node " +
+                               std::to_string(node_id_));
+  }
+  charge(bytes);
+  return Status::Ok();
 }
 
 }  // namespace hamr::storage

@@ -10,11 +10,17 @@
 // across nodes exactly as independent disks would.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 
 #include "common/clock.h"
 #include "common/metrics.h"
+#include "common/status.h"
+
+namespace hamr::fault {
+class FaultInjector;
+}  // namespace hamr::fault
 
 namespace hamr::storage {
 
@@ -43,12 +49,28 @@ class ThrottledDevice {
   // Charges a pure seek (metadata touch, file open).
   void charge_seek() { charge(0); }
 
+  // Fallible write: consults the attached fault injector first. On an
+  // injected error the write is NOT considered done - the device charges a
+  // seek (the failed attempt still positions the head) and returns
+  // kUnavailable so the caller can retry with backoff. Without an injector
+  // this is charge() returning Ok.
+  Status charge_write(uint64_t bytes);
+
+  // Attaches a fault injector (not owned; null detaches) and the node id it
+  // should attribute this device's write errors to.
+  void set_fault_injector(fault::FaultInjector* injector, uint32_t node_id) {
+    fault_injector_.store(injector, std::memory_order_release);
+    node_id_ = node_id;
+  }
+
   const DeviceConfig& config() const { return config_; }
   uint64_t total_bytes() const { return total_bytes_; }
 
  private:
   DeviceConfig config_;
   Metrics* metrics_;
+  std::atomic<fault::FaultInjector*> fault_injector_{nullptr};
+  uint32_t node_id_ = 0;
   std::mutex mu_;
   TimePoint busy_until_{};
   uint64_t total_bytes_ = 0;

@@ -10,6 +10,17 @@ void FileStore::write_file(const std::string& path, std::string_view data) {
   files_[path] = std::make_shared<std::string>(data);
 }
 
+Status FileStore::write_file_checked(const std::string& path,
+                                     std::string_view data) {
+  if (device_ != nullptr) {
+    Status status = device_->charge_write(data.size());
+    if (!status.ok()) return status;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = std::make_shared<std::string>(data);
+  return Status::Ok();
+}
+
 void FileStore::append(const std::string& path, std::string_view data) {
   if (device_ != nullptr) device_->charge(data.size());
   std::shared_ptr<std::string> file;

@@ -29,6 +29,11 @@ class FileStore {
   // Creates or truncates a file and writes `data` to it.
   void write_file(const std::string& path, std::string_view data);
 
+  // Fallible variant: consults the device's fault injector and, on an
+  // injected write error, leaves the file untouched and returns the error.
+  // Recovery-aware writers (the engine's spill path) use this and retry.
+  Status write_file_checked(const std::string& path, std::string_view data);
+
   // Appends to a file, creating it if absent.
   void append(const std::string& path, std::string_view data);
 

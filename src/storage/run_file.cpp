@@ -30,6 +30,14 @@ uint64_t RunWriter::close() {
   return buf_.size();
 }
 
+Result<uint64_t> RunWriter::finish() {
+  if (closed_) return static_cast<uint64_t>(buf_.size());
+  Status status = store_->write_file_checked(path_, buf_.view());
+  if (!status.ok()) return status;
+  closed_ = true;
+  return static_cast<uint64_t>(buf_.size());
+}
+
 RunReader::RunReader(const FileStore* store, const std::string& path) {
   auto result = store->read_file(path);
   result.status().ExpectOk();

@@ -39,6 +39,11 @@ class RunWriter {
   // Flushes and finalizes the file. Returns total bytes written.
   uint64_t close();
 
+  // Fallible close: on an injected device write error the buffer is kept and
+  // the writer stays open, so the caller can back off and call finish()
+  // again (or fall back to the infallible close()).
+  Result<uint64_t> finish();
+
   uint64_t records() const { return records_; }
 
  private:

@@ -288,6 +288,79 @@ TEST(Metrics, CounterPointerStable) {
   EXPECT_EQ(m.value("hot"), 5u);
 }
 
+TEST(Metrics, GaugeMovesBothWays) {
+  Metrics m;
+  Gauge* g = m.gauge("depth");
+  g->add(10);
+  g->sub(3);
+  g->inc();
+  g->dec();
+  EXPECT_EQ(m.gauge_value("depth"), 7);
+  g->set(-2);
+  EXPECT_EQ(m.gauge_value("depth"), -2);
+  EXPECT_EQ(m.gauge_value("missing"), 0);
+}
+
+TEST(Metrics, GaugesMergeBySum) {
+  Metrics a, b;
+  a.gauge("g")->set(5);
+  b.gauge("g")->set(-2);
+  b.gauge("only_b")->set(9);
+  a.merge_from(b);
+  EXPECT_EQ(a.gauge_value("g"), 3);
+  EXPECT_EQ(a.gauge_value("only_b"), 9);
+}
+
+TEST(Histogram, ObservationsLandInBuckets) {
+  Histogram h({10, 100, 1000});
+  h.observe(5);     // <= 10
+  h.observe(10);    // <= 10 (bounds are inclusive)
+  h.observe(70);    // <= 100
+  h.observe(5000);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5085u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // overflow bucket
+  EXPECT_DOUBLE_EQ(h.mean(), 5085.0 / 4.0);
+}
+
+TEST(Histogram, QuantileReportsBucketUpperBound) {
+  Histogram h({1, 2, 4, 8});
+  for (uint64_t v : {1, 1, 1, 2, 2, 3, 5, 100}) h.observe(v);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(0.5), 2u);
+  EXPECT_EQ(h.quantile(1.0), 8u);  // overflow reports last finite bound
+  EXPECT_EQ(Histogram({1, 2}).quantile(0.5), 0u);  // empty
+}
+
+TEST(Histogram, MergeRequiresIdenticalBounds) {
+  Histogram a({10, 100});
+  Histogram b({10, 100});
+  Histogram other({5, 50});
+  a.observe(7);
+  b.observe(70);
+  other.observe(3);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.bucket_count(0), 1u);
+  EXPECT_EQ(a.bucket_count(1), 1u);
+  a.merge_from(other);  // incompatible: silently skipped
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Metrics, HistogramsMergeThroughRegistry) {
+  Metrics a, b;
+  a.histogram("lat")->observe(3);
+  b.histogram("lat")->observe(900);
+  b.histogram("only_b", {1, 2})->observe(1);
+  a.merge_from(b);
+  EXPECT_EQ(a.histogram("lat")->count(), 2u);
+  EXPECT_EQ(a.histogram("lat")->sum(), 903u);
+  EXPECT_EQ(a.histogram("only_b", {1, 2})->count(), 1u);
+}
+
 // --- clock -------------------------------------------------------------------------
 
 TEST(Clock, FormatDuration) {

@@ -1,0 +1,319 @@
+// Chaos test suite: deterministic fault injection and end-to-end recovery.
+//
+// The heart of the suite is the byte-identical guarantee: a job run under a
+// fault plan (message drops / duplicates / delays, injected task crashes,
+// failing spill writes) must produce EXACTLY the output of a fault-free run -
+// not approximately, not "eventually". WordCount and PageRank both run to
+// completion under chaos plans and are compared against the sequential
+// reference.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "apps/wordcount.h"
+#include "fault/fault.h"
+#include "gen/generators.h"
+#include "net/message.h"
+
+using namespace hamr;
+
+namespace {
+
+std::vector<std::string> make_shards(uint32_t n,
+                                     const std::function<std::string(uint32_t)>& fn) {
+  std::vector<std::string> shards;
+  for (uint32_t i = 0; i < n; ++i) shards.push_back(fn(i));
+  return shards;
+}
+
+// A chaos-rigged 4-node correctness environment: cost models off, injector
+// wired into the transport, every disk, and the engine runtime.
+struct ChaosEnv {
+  fault::FaultInjector injector;
+  apps::BenchEnv env;
+
+  explicit ChaosEnv(const fault::FaultPlan& plan, uint32_t nodes = 4,
+                    engine::EngineConfig base = engine::EngineConfig::fast())
+      : injector(plan),
+        env(apps::BenchEnv::make(cluster::ClusterConfig::fast(nodes),
+                                 with_injector(base, &injector))) {
+    env.cluster->set_fault_injector(&injector);
+  }
+
+  static engine::EngineConfig with_injector(engine::EngineConfig cfg,
+                                            fault::FaultInjector* injector) {
+    cfg.fault_injector = injector;
+    return cfg;
+  }
+};
+
+// Records the injector's decision sequence for a handful of streams.
+std::string decision_trace(fault::FaultInjector& injector, int events) {
+  std::string trace;
+  for (int i = 0; i < events; ++i) {
+    const auto m01 = injector.on_message(0, 1, net::msg_type::kEngineFrame);
+    const auto m23 = injector.on_message(2, 3, net::msg_type::kEngineFrame);
+    trace += static_cast<char>('a' + static_cast<int>(m01.action));
+    trace += static_cast<char>('a' + static_cast<int>(m23.action));
+    trace += injector.on_disk_write(1) ? 'W' : 'w';
+    trace += injector.on_task_start(0, 2) ? 'C' : 'c';
+  }
+  return trace;
+}
+
+}  // namespace
+
+// --- FaultInjector determinism --------------------------------------------
+
+TEST(FaultInjector, SamePlanAndSeedYieldSameFaultSequence) {
+  const fault::FaultPlan plan = fault::FaultPlan::chaos(42, 0.3, 0.1);
+  fault::FaultInjector a(plan);
+  fault::FaultInjector b(plan);
+  EXPECT_EQ(decision_trace(a, 400), decision_trace(b, 400));
+  EXPECT_EQ(a.stats().total(), b.stats().total());
+}
+
+TEST(FaultInjector, DifferentSeedYieldsDifferentSequence) {
+  fault::FaultPlan p1 = fault::FaultPlan::chaos(1, 0.3, 0.1);
+  fault::FaultPlan p2 = p1;
+  p2.seed = 2;
+  fault::FaultInjector a(p1);
+  fault::FaultInjector b(p2);
+  EXPECT_NE(decision_trace(a, 400), decision_trace(b, 400));
+}
+
+TEST(FaultInjector, StreamsAreIndependentOfInterleaving) {
+  // Consuming events of OTHER streams between queries must not change a
+  // stream's own decision sequence (this is what makes multi-threaded runs
+  // reproducible per stream).
+  const fault::FaultPlan plan = fault::FaultPlan::chaos(7, 0.4);
+  fault::FaultInjector a(plan);
+  fault::FaultInjector b(plan);
+
+  std::vector<fault::MessageFault> seq_a, seq_b;
+  for (int i = 0; i < 100; ++i) {
+    seq_a.push_back(a.on_message(0, 1, net::msg_type::kEngineFrame).action);
+  }
+  for (int i = 0; i < 100; ++i) {
+    // Interleave traffic on other links and other hook types.
+    b.on_message(1, 0, net::msg_type::kEngineFrame);
+    b.on_message(2, 1, net::msg_type::kEngineFrame);
+    b.on_disk_write(0);
+    b.on_task_start(1, 1);
+    seq_b.push_back(b.on_message(0, 1, net::msg_type::kEngineFrame).action);
+  }
+  EXPECT_EQ(seq_a, seq_b);
+}
+
+TEST(FaultInjector, LocalAndNonFaultableTrafficIsNeverFaulted) {
+  fault::FaultPlan plan;
+  plan.default_link.drop = 1.0;
+  fault::FaultInjector injector(plan);
+  // Local traffic.
+  EXPECT_EQ(injector.on_message(3, 3, net::msg_type::kEngineFrame).action,
+            fault::MessageFault::kNone);
+  // Type not in faultable_types (defaults to the engine frame/ack channel).
+  EXPECT_EQ(injector.on_message(0, 1, net::msg_type::kRpcRequest).action,
+            fault::MessageFault::kNone);
+  // Faultable remote traffic with drop=1 always drops.
+  EXPECT_EQ(injector.on_message(0, 1, net::msg_type::kEngineFrame).action,
+            fault::MessageFault::kDrop);
+  EXPECT_EQ(injector.stats().messages_dropped, 1u);
+}
+
+TEST(FaultInjector, PerLinkOverridesBeatTheDefault) {
+  fault::FaultPlan plan;
+  plan.default_link.drop = 1.0;
+  plan.links[{0, 1}] = fault::LinkFaults{};  // quiet link
+  fault::FaultInjector injector(plan);
+  EXPECT_EQ(injector.on_message(0, 1, net::msg_type::kEngineFrame).action,
+            fault::MessageFault::kNone);
+  EXPECT_EQ(injector.on_message(1, 0, net::msg_type::kEngineFrame).action,
+            fault::MessageFault::kDrop);
+}
+
+TEST(FaultInjector, CrashPointsFireExactlyTimesThenStop) {
+  fault::FaultPlan plan;
+  fault::CrashPoint cp;
+  cp.node = 2;
+  cp.flowlet = 1;
+  cp.times = 3;
+  plan.crash_points.push_back(cp);
+  fault::FaultInjector injector(plan);
+  int crashes = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.on_task_start(2, 1)) ++crashes;
+  }
+  EXPECT_EQ(crashes, 3);
+  EXPECT_FALSE(injector.on_task_start(2, 2));  // other flowlet unaffected
+  EXPECT_FALSE(injector.on_task_start(1, 1));  // other node unaffected
+  EXPECT_EQ(injector.stats().task_crashes, 3u);
+}
+
+// --- End-to-end chaos runs -------------------------------------------------
+
+TEST(Chaos, WordCountSurvivesMessageChaosByteIdentical) {
+  // 5% of shuffle frames suffer a fault (drop / duplicate / delay) and 2% of
+  // task executions crash at start; the output must equal the reference
+  // exactly.
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/11, /*msg_rate=*/0.05,
+                                         /*crash_rate=*/0.02));
+  gen::TextSpec spec;
+  spec.total_bytes = 96 * 1024;
+  auto shards = make_shards(chaos.env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(chaos.env, "wc_chaos", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  auto info = apps::wordcount::run_hamr(chaos.env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+  EXPECT_GT(info.engine_result.faults_injected, 0u);
+}
+
+TEST(Chaos, DroppedFramesAreRetransmittedUntilAcked) {
+  // Half of all data frames (acks excluded) vanish in flight; the job can
+  // only complete through retransmission, and the output must still be
+  // exact despite every surviving duplicate.
+  fault::FaultPlan plan;
+  plan.seed = 17;
+  plan.default_link.drop = 0.5;
+  plan.faultable_types = {net::msg_type::kEngineFrame};
+  ChaosEnv chaos(plan);
+
+  gen::TextSpec spec;
+  spec.total_bytes = 64 * 1024;
+  auto shards = make_shards(chaos.env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(chaos.env, "wc_drop", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  auto info = apps::wordcount::run_hamr(chaos.env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+  EXPECT_GT(chaos.injector.stats().messages_dropped, 0u);
+  // Every dropped data frame had to be retransmitted for the job to finish.
+  EXPECT_GT(info.engine_result.frames_resent, 0u);
+}
+
+TEST(Chaos, WordCountFullReduceSurvivesCrashAndDiskChaos) {
+  fault::FaultPlan plan = fault::FaultPlan::chaos(/*seed=*/5, /*msg_rate=*/0.04,
+                                                  /*crash_rate=*/0.03);
+  plan.disk_write_error_rate = 0.3;
+  engine::EngineConfig cfg = engine::EngineConfig::fast();
+  // Tiny staging budget so the reduce path spills (and hits disk faults).
+  cfg.memory_budget_bytes = 16 * 1024;
+  ChaosEnv chaos(plan, 4, cfg);
+
+  gen::TextSpec spec;
+  spec.total_bytes = 96 * 1024;
+  auto shards = make_shards(chaos.env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(chaos.env, "wc_spill", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  auto info = apps::wordcount::run_hamr(chaos.env, staged, /*combine=*/false,
+                                        /*use_full_reduce=*/true);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+  EXPECT_GT(info.engine_result.spill_retries, 0u);
+}
+
+TEST(Chaos, PageRankSurvivesChaosWithIdenticalRanks) {
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/13, /*msg_rate=*/0.05,
+                                         /*crash_rate=*/0.01));
+  gen::WebGraphSpec spec;
+  spec.num_pages = 256;
+  spec.num_edges = 2048;
+  auto shards = make_shards(chaos.env.nodes(), [&](uint32_t i) {
+    return gen::web_graph_shard(spec, i, 4);
+  });
+  auto staged = apps::stage_input(chaos.env, "pr_chaos", shards, 16 * 1024);
+  apps::pagerank::Params params;
+  params.num_pages = spec.num_pages;
+  params.iterations = 3;
+  const auto expected = apps::pagerank::reference(shards, params);
+
+  auto info = apps::pagerank::run_hamr(chaos.env, staged, params);
+  const auto ranks = apps::pagerank::hamr_ranks(chaos.env, params);
+  ASSERT_EQ(ranks.size(), expected.size());
+  for (const auto& [page, rank] : expected) {
+    EXPECT_NEAR(ranks.at(page), rank, 1e-12) << "page " << page;
+  }
+  uint64_t faults = 0;
+  for (const auto& r : info.engine_results) faults += r.faults_injected;
+  EXPECT_GT(faults, 0u);
+}
+
+TEST(Chaos, ExplicitCrashPointsAreRetriedToCompletion) {
+  fault::FaultPlan plan;
+  // The wordcount graph is loader(0) -> splitter map(1) -> count(2); crash
+  // the splitter's first four bins on node 0 and the counter's first two on
+  // node 3.
+  plan.crash_points.push_back(fault::CrashPoint{0, 1, 4});
+  plan.crash_points.push_back(fault::CrashPoint{3, 2, 2});
+  ChaosEnv chaos(plan);
+
+  gen::TextSpec spec;
+  spec.total_bytes = 64 * 1024;
+  auto shards = make_shards(chaos.env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(chaos.env, "wc_cp", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  auto info = apps::wordcount::run_hamr(chaos.env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+  EXPECT_GE(info.engine_result.task_retries, 6u);
+  EXPECT_GE(chaos.injector.stats().task_crashes, 6u);
+}
+
+TEST(Chaos, ZeroFaultPlanRunsCleanlyOverReliableChannel) {
+  // An injector with an all-zero plan still engages the seq/ack channel; the
+  // run must be fault-free, retransmission-free, and correct.
+  ChaosEnv chaos(fault::FaultPlan{});
+  gen::TextSpec spec;
+  spec.total_bytes = 64 * 1024;
+  auto shards = make_shards(chaos.env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(chaos.env, "wc_zero", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  auto info = apps::wordcount::run_hamr(chaos.env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+  EXPECT_EQ(info.engine_result.faults_injected, 0u);
+  EXPECT_EQ(info.engine_result.task_retries, 0u);
+  EXPECT_EQ(info.engine_result.duplicate_frames, 0u);
+}
+
+TEST(Chaos, ReliableShuffleFlagWorksWithoutInjector) {
+  engine::EngineConfig cfg = engine::EngineConfig::fast();
+  cfg.reliable_shuffle = true;
+  apps::BenchEnv env =
+      apps::BenchEnv::make(cluster::ClusterConfig::fast(3), cfg);
+  gen::TextSpec spec;
+  spec.total_bytes = 48 * 1024;
+  auto shards = make_shards(env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 3); });
+  auto staged = apps::stage_input(env, "wc_rel", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  apps::wordcount::run_hamr(env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(env), expected);
+}
+
+TEST(Chaos, BackToBackJobsShareTheChannelState) {
+  // Sequence numbers keep counting across jobs on the same engine; a second
+  // job under the same injector must still be exact.
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/3, /*msg_rate=*/0.05));
+  gen::TextSpec spec;
+  spec.total_bytes = 48 * 1024;
+  auto shards = make_shards(chaos.env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(chaos.env, "wc_twice", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  apps::wordcount::run_hamr(chaos.env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+  apps::wordcount::run_hamr(chaos.env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+}
