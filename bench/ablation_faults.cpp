@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
                   kUsage + "  --repeats=N          best-of-N per variant (default 3)\n");
   BenchSetup setup = BenchSetup::from_flags(flags);
   setup.print_cluster_info("Ablation A6: WordCount under injected faults");
+  init_observability(setup);
 
   gen::TextSpec spec;
   spec.total_bytes = static_cast<uint64_t>(8e6 * setup.scale);
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
       }
       auto staged = apps::stage_input(env, "wc_faults", shards);
       auto info = apps::wordcount::run_hamr(env, staged);
+      harvest_metrics(env);
       if (best_s == 0 || info.seconds < best_s) {
         best_s = info.seconds;
         best = info.engine_result;
@@ -80,5 +82,6 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(best.spill_retries));
     std::fflush(stdout);
   }
+  finish_observability(setup);
   return 0;
 }

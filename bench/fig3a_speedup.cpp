@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, std::string("fig3a_speedup - Fig. 3(a) of the paper\n") + kUsage);
   const BenchSetup setup = BenchSetup::from_flags(flags);
   setup.print_cluster_info("Fig. 3(a): feature-exploiting benchmarks");
+  init_observability(setup);
 
   std::vector<Row> rows;
   rows.push_back(bench_kmeans(setup));
@@ -17,5 +18,6 @@ int main(int argc, char** argv) {
   rows.push_back(bench_pagerank(setup));
   rows.push_back(bench_kcliques(setup));
   print_speedup_bars("Fig. 3(a) (reproduced, scaled)", rows);
+  finish_observability(setup);
   return 0;
 }

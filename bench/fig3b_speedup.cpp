@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, std::string("fig3b_speedup - Fig. 3(b) of the paper\n") + kUsage);
   const BenchSetup setup = BenchSetup::from_flags(flags);
   setup.print_cluster_info("Fig. 3(b): IO-intensive benchmarks");
+  init_observability(setup);
 
   std::vector<Row> rows;
   rows.push_back(bench_wordcount(setup));
@@ -18,5 +19,6 @@ int main(int argc, char** argv) {
   rows.push_back(bench_histogram_ratings(setup));
   rows.push_back(bench_naive_bayes(setup));
   print_speedup_bars("Fig. 3(b) (reproduced, scaled)", rows);
+  finish_observability(setup);
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <fstream>
+#include <mutex>
 
 #include "apps/classification.h"
 #include "apps/histograms.h"
@@ -10,6 +12,8 @@
 #include "apps/pagerank.h"
 #include "apps/wordcount.h"
 #include "gen/generators.h"
+#include "obs/metrics_snapshot.h"
+#include "obs/trace.h"
 
 namespace hamr::bench {
 
@@ -33,7 +37,9 @@ const char* const kUsage =
     "  --flow_control_kb=F  outbox watermark (default 512)\n"
     "  --bin_queue_kb=F     receiver bin-queue bound (default 1024)\n"
     "  --ingress_kb=F       transport ingress buffer (default 1024)\n"
-    "  --no_flow_control    disable engine flow control\n";
+    "  --no_flow_control    disable engine flow control\n"
+    "  --trace=FILE         write Chrome trace_event JSON (chrome://tracing)\n"
+    "  --metrics_json=FILE  write merged cluster metrics JSON (- = stdout)\n";
 
 BenchSetup BenchSetup::from_flags(const Flags& flags) {
   BenchSetup s;
@@ -56,6 +62,8 @@ BenchSetup BenchSetup::from_flags(const Flags& flags) {
   s.bin_queue_kb = flags.get_double("bin_queue_kb", s.bin_queue_kb);
   s.ingress_kb = flags.get_double("ingress_kb", s.ingress_kb);
   if (flags.get_bool("no_flow_control", false)) s.flow_control = false;
+  s.trace_path = flags.get_string("trace", "");
+  s.metrics_json_path = flags.get_string("metrics_json", "");
   return s;
 }
 
@@ -131,6 +139,53 @@ void print_speedup_bars(const std::string& title, const std::vector<Row>& rows) 
 
 namespace {
 
+// Bench envs are torn down at the end of each bench_*; the metrics they
+// accumulated are merged here so finish_observability() can dump one JSON
+// covering every bench that ran.
+std::mutex g_metrics_mu;
+obs::MetricsSnapshot g_metrics;
+
+}  // namespace
+
+void init_observability(const BenchSetup& setup) {
+  if (!setup.trace_path.empty()) obs::trace().enable();
+}
+
+void harvest_metrics(apps::BenchEnv& env) {
+  obs::MetricsSnapshot snap;
+  for (uint32_t n = 0; n < env.nodes(); ++n) {
+    snap.merge_from(obs::MetricsSnapshot::capture(env.cluster->node(n).metrics()));
+  }
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  g_metrics.merge_from(snap);
+}
+
+void finish_observability(const BenchSetup& setup) {
+  if (!setup.trace_path.empty()) {
+    obs::TraceRecorder& tr = obs::trace();
+    tr.disable();
+    std::ofstream out(setup.trace_path);
+    out << tr.drain_to_json();
+    std::printf("trace: wrote %s (%llu events dropped by ring wraparound)\n",
+                setup.trace_path.c_str(),
+                static_cast<unsigned long long>(tr.dropped()));
+  }
+  if (!setup.metrics_json_path.empty()) {
+    std::lock_guard<std::mutex> lock(g_metrics_mu);
+    const std::string json = g_metrics.to_json();
+    if (setup.metrics_json_path == "-") {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(setup.metrics_json_path);
+      out << json;
+      std::printf("metrics: wrote %s\n", setup.metrics_json_path.c_str());
+    }
+  }
+  std::fflush(stdout);
+}
+
+namespace {
+
 std::vector<std::string> make_shards(uint32_t n,
                                      const std::function<std::string(uint32_t)>& fn) {
   std::vector<std::string> shards;
@@ -156,6 +211,7 @@ Row bench_kmeans(const BenchSetup& setup) {
   Row row{"K-Means", mb(staged.total_bytes), 0, 0, 10.31, "1 iter, k=8"};
   row.baseline_s = apps::kmeans::run_baseline(env, staged, params).seconds;
   row.hamr_s = apps::kmeans::run_hamr(env, staged, params).seconds;
+  harvest_metrics(env);
   return row;
 }
 
@@ -172,6 +228,7 @@ Row bench_classification(const BenchSetup& setup) {
   Row row{"Classification", mb(staged.total_bytes), 0, 0, 13.03, "k=8 fixed"};
   row.baseline_s = apps::classification::run_baseline(env, staged, params).seconds;
   row.hamr_s = apps::classification::run_hamr(env, staged, params).seconds;
+  harvest_metrics(env);
   return row;
 }
 
@@ -191,6 +248,7 @@ Row bench_pagerank(const BenchSetup& setup) {
   Row row{"PageRank", mb(staged.total_bytes), 0, 0, 13.61, "3 iterations"};
   row.baseline_s = apps::pagerank::run_baseline(env, staged, params).seconds;
   row.hamr_s = apps::pagerank::run_hamr(env, staged, params).seconds;
+  harvest_metrics(env);
   return row;
 }
 
@@ -209,6 +267,7 @@ Row bench_kcliques(const BenchSetup& setup) {
   Row row{"KCliques", mb(staged.total_bytes), 0, 0, 11.50, "K=4, R-MAT 2^12"};
   row.baseline_s = apps::kcliques::run_baseline(env, staged, params).seconds;
   row.hamr_s = apps::kcliques::run_hamr(env, staged, params).seconds;
+  harvest_metrics(env);
   return row;
 }
 
@@ -224,6 +283,7 @@ Row bench_wordcount(const BenchSetup& setup) {
   Row row{"WordCount", mb(staged.total_bytes), 0, 0, 1.20, "zipf 0.99"};
   row.baseline_s = apps::wordcount::run_baseline(env, staged).seconds;
   row.hamr_s = apps::wordcount::run_hamr(env, staged).seconds;
+  harvest_metrics(env);
   return row;
 }
 
@@ -252,6 +312,7 @@ Row bench_histogram(const BenchSetup& setup, apps::histograms::Kind kind,
   if (hamr_combine) row.note += (row.note.empty() ? "" : ", ") + std::string("HAMR combiner");
   row.baseline_s = apps::histograms::run_baseline(env, staged, kind).seconds;
   row.hamr_s = apps::histograms::run_hamr(env, staged, kind, hamr_combine).seconds;
+  harvest_metrics(env);
   return row;
 }
 
@@ -277,6 +338,7 @@ Row bench_naive_bayes(const BenchSetup& setup) {
   Row row{"NaiveBayes", mb(staged.total_bytes), 0, 0, 2.43, "2 jobs vs 1"};
   row.baseline_s = apps::naive_bayes::run_baseline(env, staged).seconds;
   row.hamr_s = apps::naive_bayes::run_hamr(env, staged).seconds;
+  harvest_metrics(env);
   return row;
 }
 

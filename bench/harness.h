@@ -48,6 +48,12 @@ struct BenchSetup {
   // and engine runtime of every env this setup creates. Not owned.
   fault::FaultInjector* fault_injector = nullptr;
 
+  // Observability outputs (empty = off). trace_path gets a Chrome
+  // trace_event JSON (load in chrome://tracing or Perfetto); metrics_json
+  // gets the merged cluster metrics of every bench that ran ("-" = stdout).
+  std::string trace_path;
+  std::string metrics_json_path;
+
   static BenchSetup from_flags(const Flags& flags);
 
   apps::BenchEnv make_env() const;
@@ -85,6 +91,14 @@ Row bench_wordcount(const BenchSetup& setup);
 Row bench_histogram_movies(const BenchSetup& setup, bool hamr_combine = false);
 Row bench_histogram_ratings(const BenchSetup& setup, bool hamr_combine = false);
 Row bench_naive_bayes(const BenchSetup& setup);
+
+// Observability bracket for bench mains. init enables the process tracer
+// when --trace is set; finish drains the tracer to setup.trace_path and
+// writes the metrics accumulated by harvest_metrics() to
+// setup.metrics_json_path. Each bench_* harvests its env before teardown.
+void init_observability(const BenchSetup& setup);
+void harvest_metrics(apps::BenchEnv& env);
+void finish_observability(const BenchSetup& setup);
 
 // Common flag help string.
 extern const char* const kUsage;

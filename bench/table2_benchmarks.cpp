@@ -10,6 +10,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, std::string("table2_benchmarks - Table 2 of the paper\n") + kUsage);
   const BenchSetup setup = BenchSetup::from_flags(flags);
   setup.print_cluster_info("Table 2: baseline vs HAMR, all eight benchmarks");
+  init_observability(setup);
 
   std::vector<Row> rows;
   rows.push_back(bench_kmeans(setup));
@@ -22,5 +23,6 @@ int main(int argc, char** argv) {
   rows.push_back(bench_naive_bayes(setup));
 
   print_table("Table 2 (reproduced, scaled)", rows);
+  finish_observability(setup);
   return 0;
 }

@@ -9,10 +9,12 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, std::string("table3_combiner - Table 3 of the paper\n") + kUsage);
   const BenchSetup setup = BenchSetup::from_flags(flags);
   setup.print_cluster_info("Table 3: HAMR with combiner on the histogram benchmarks");
+  init_observability(setup);
 
   std::vector<Row> rows;
   rows.push_back(bench_histogram_movies(setup, /*hamr_combine=*/true));
   rows.push_back(bench_histogram_ratings(setup, /*hamr_combine=*/true));
   print_table("Table 3 (reproduced, scaled)", rows);
+  finish_observability(setup);
   return 0;
 }

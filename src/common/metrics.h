@@ -154,6 +154,26 @@ class Metrics {
     return out;
   }
 
+  // Snapshot of all gauges, sorted by name.
+  std::vector<std::pair<std::string, int64_t>> gauges_snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, int64_t>> out;
+    out.reserve(gauges_.size());
+    for (const auto& [name, gauge] : gauges_) out.emplace_back(name, gauge->get());
+    return out;
+  }
+
+  // Stable histogram pointers, sorted by name. Pointers live as long as the
+  // registry; contents are atomic, so callers may read without the lock.
+  std::vector<std::pair<std::string, const Histogram*>> histograms_snapshot()
+      const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, const Histogram*>> out;
+    out.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+    return out;
+  }
+
   uint64_t value(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);

@@ -9,6 +9,10 @@ namespace hamr::fault {
 class FaultInjector;
 }  // namespace hamr::fault
 
+namespace hamr::obs {
+class EventLog;
+}  // namespace hamr::obs
+
 namespace hamr::engine {
 
 struct EngineConfig {
@@ -65,6 +69,14 @@ struct EngineConfig {
   // injector (e.g. over a lossy transport).
   fault::FaultInjector* fault_injector = nullptr;
   bool reliable_shuffle = false;
+
+  // Observability. When set (not owned; must outlive the engine) every node
+  // runtime appends scheduling-relevant events - bin enqueue/process,
+  // flowlet ready/complete, completion broadcasts, stalls, spills, retries -
+  // to this log, counter-indexed per (node, flowlet) stream so tests can
+  // assert ordering invariants deterministically. Null = one branch per
+  // site, no recording.
+  obs::EventLog* event_log = nullptr;
 
   // Convenience: cost-model-free config for correctness tests.
   static EngineConfig fast() {

@@ -21,14 +21,6 @@ internal::PartialTable* make_table(uint32_t stripes, double gate_rate) {
   return table;
 }
 
-// Counters that feed JobResult deltas.
-const char* const kDeltaCounters[] = {
-    "engine.records",      "engine.bins",          "engine.bin_bytes",
-    "engine.spill_bytes",  "engine.stalls",        "engine.stall_ns",
-    "engine.task_retries", "engine.spill_retries", "engine.resends",
-    "engine.dup_frames",
-};
-
 }  // namespace
 
 Engine::Engine(cluster::Cluster& cluster, EngineConfig config)
@@ -67,9 +59,11 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
 
   const uint32_t num_nodes = cluster_.size();
 
-  // Baseline counter snapshot for the result deltas.
-  std::map<std::string, uint64_t> before;
-  for (const char* name : kDeltaCounters) before[name] = total_counter(name);
+  // Baseline cluster-wide metrics snapshot; the result reports the delta.
+  obs::MetricsSnapshot before;
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    before.merge_from(obs::MetricsSnapshot::capture(cluster_.node(n).metrics()));
+  }
   const uint64_t faults_before =
       config_.fault_injector != nullptr ? config_.fault_injector->stats().total() : 0;
 
@@ -100,6 +94,11 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
       if (!fs->instance) {
         throw std::invalid_argument("factory for '" + gnode.name + "' returned null");
       }
+      // Per-flowlet task latency histogram on this node's registry. Keyed by
+      // flowlet id (stable within a graph); accumulates across jobs, but
+      // JobResult reports the per-job delta.
+      fs->task_us = cluster_.node(n).metrics().histogram(
+          "engine.flowlet." + std::to_string(f) + ".task_us");
       fs->channels_total = distinct_upstreams[f] * num_nodes;
       if (gnode.kind == FlowletKind::kReduce) {
         const uint32_t stages = std::max(1u, config_.reduce_subpartitions);
@@ -178,26 +177,26 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
     job_running_ = false;
   }
 
+  obs::MetricsSnapshot after;
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    after.merge_from(obs::MetricsSnapshot::capture(cluster_.node(n).metrics()));
+  }
+
   JobResult result;
   result.wall_seconds = watch.elapsed_seconds();
-  result.records_emitted = total_counter("engine.records") - before["engine.records"];
-  result.bins_sent = total_counter("engine.bins") - before["engine.bins"];
-  result.bin_bytes = total_counter("engine.bin_bytes") - before["engine.bin_bytes"];
-  result.spill_bytes =
-      total_counter("engine.spill_bytes") - before["engine.spill_bytes"];
-  result.flow_control_stalls =
-      total_counter("engine.stalls") - before["engine.stalls"];
+  result.metrics = after.delta_since(before);
+  const obs::MetricsSnapshot& m = result.metrics;
+  result.records_emitted = m.counter("engine.records");
+  result.bins_sent = m.counter("engine.bins");
+  result.bin_bytes = m.counter("engine.bin_bytes");
+  result.spill_bytes = m.counter("engine.spill_bytes");
+  result.flow_control_stalls = m.counter("engine.stalls");
   result.flow_control_stall_seconds =
-      static_cast<double>(total_counter("engine.stall_ns") -
-                          before["engine.stall_ns"]) *
-      1e-9;
-  result.task_retries =
-      total_counter("engine.task_retries") - before["engine.task_retries"];
-  result.spill_retries =
-      total_counter("engine.spill_retries") - before["engine.spill_retries"];
-  result.frames_resent = total_counter("engine.resends") - before["engine.resends"];
-  result.duplicate_frames =
-      total_counter("engine.dup_frames") - before["engine.dup_frames"];
+      static_cast<double>(m.counter("engine.stall_ns")) * 1e-9;
+  result.task_retries = m.counter("engine.task_retries");
+  result.spill_retries = m.counter("engine.spill_retries");
+  result.frames_resent = m.counter("engine.resends");
+  result.duplicate_frames = m.counter("engine.dup_frames");
   if (config_.fault_injector != nullptr) {
     result.faults_injected = config_.fault_injector->stats().total() - faults_before;
   }

@@ -17,6 +17,7 @@
 #include "engine/runtime.h"
 #include "engine/split.h"
 #include "kvstore/kv_store.h"
+#include "obs/metrics_snapshot.h"
 
 namespace hamr::engine {
 
@@ -34,6 +35,13 @@ struct JobResult {
   uint64_t frames_resent = 0;      // reliable-channel retransmissions
   uint64_t duplicate_frames = 0;   // frames suppressed by seq dedup
   uint64_t faults_injected = 0;    // injector events during this job
+
+  // Cluster-wide metrics delta for this job: every counter that moved,
+  // final gauge levels, and latency histograms - including the per-flowlet
+  // task-latency histograms engine.flowlet.<id>.task_us registered at job
+  // build time. The scalar fields above are views into this snapshot kept
+  // for compatibility.
+  obs::MetricsSnapshot metrics;
 };
 
 class Engine {

@@ -1,5 +1,7 @@
 #include "engine/loaders.h"
 
+#include "obs/trace.h"
+
 namespace hamr::engine {
 
 std::string TextLoader::split_key(const InputSplit& split) {
@@ -19,6 +21,8 @@ std::shared_ptr<TextLoader::CachedSplit> TextLoader::split_data(
   // for the same split cannot happen (one task chain per split).
   auto cached = std::make_shared<CachedSplit>();
   const uint64_t len = split.length == 0 ? UINT64_MAX : split.length;
+  obs::TraceSpan span("loader.read_split", "engine.io", ctx.node(), -1,
+                      static_cast<int64_t>(split.offset));
   auto data = ctx.local_store().read_range(split.path, split.offset, len);
   data.status().ExpectOk();
   cached->data = std::move(data).value();

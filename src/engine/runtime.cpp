@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "engine/engine.h"
 #include "fault/fault.h"
+#include "obs/trace.h"
 #include "storage/run_file.h"
 
 namespace hamr::engine {
@@ -198,6 +199,11 @@ NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
   // structs are tiny and the handlers above are always registered).
   send_channels_.resize(engine_->cluster().size());
   recv_channels_.resize(engine_->cluster().size());
+  frames_sent_c_ = metrics().counter("engine.frames_sent");
+  frames_recv_c_ = metrics().counter("engine.frames_recv");
+  bin_queue_depth_g_ = metrics().gauge("engine.bin_queue_depth");
+  bin_queue_bytes_g_ = metrics().gauge("engine.bin_queue_bytes");
+  task_us_h_ = metrics().histogram("engine.task_us");
   const uint32_t workers = engine_->cluster().config().threads_per_node;
   workers_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
@@ -276,6 +282,12 @@ void NodeRuntime::on_bin_message(net::Message&& msg) {
     BinView view(msg.payload);
     if (view.job_epoch() != job->epoch) return;  // stale job traffic
     const GraphEdge& edge = job->graph->edge(view.edge());
+    // Log before the pending_bins increment becomes visible so the event's
+    // log position always precedes any completion it could enable.
+    log_event(obs::EventKind::kBinEnqueued, edge.dst,
+              static_cast<int64_t>(view.records()));
+    obs::trace().record_instant("bin.enqueue", "engine.bin", node_id(),
+                                edge.dst, static_cast<int64_t>(view.records()));
     job->flowlets[edge.dst]->pending_bins.fetch_add(1);
   } catch (const serde::DecodeError& e) {
     HLOG_ERROR << "node " << node_id() << " malformed bin: " << e.what();
@@ -325,7 +337,12 @@ void NodeRuntime::on_frame_message(net::Message&& msg) {
     if (seq < ch.next_expected || ch.stash.count(seq) != 0) {
       // Retransmission of a frame we already have (its ack was lost or late).
       metrics().counter("engine.dup_frames")->inc();
+      obs::trace().record_instant("shuffle.dup", "engine.shuffle", node_id(),
+                                  -1, static_cast<int64_t>(seq));
     } else {
+      frames_recv_c_->inc();
+      obs::trace().record_instant("shuffle.recv", "engine.shuffle", node_id(),
+                                  -1, static_cast<int64_t>(seq));
       ch.stash.emplace(seq, std::make_pair(inner_type, std::move(inner)));
       for (auto it = ch.stash.find(ch.next_expected); it != ch.stash.end();
            it = ch.stash.find(ch.next_expected)) {
@@ -381,6 +398,7 @@ void NodeRuntime::on_ack_message(net::Message&& msg) {
 
 void NodeRuntime::enqueue_item(QueueItem&& item) {
   const uint64_t bytes = item.payload.size();
+  const TimePoint t0 = now();
   {
     std::unique_lock<std::mutex> lock(sched_mu_);
     // Receiver-side backpressure: the delivery thread (our only caller)
@@ -393,6 +411,15 @@ void NodeRuntime::enqueue_item(QueueItem&& item) {
     if (stopping_.load()) return;
     bin_queue_bytes_ += bytes;
     bin_queue_.push_back(std::move(item));
+    bin_queue_depth_g_->set(static_cast<int64_t>(bin_queue_.size()));
+    bin_queue_bytes_g_->set(static_cast<int64_t>(bin_queue_bytes_));
+  }
+  const Duration waited = now() - t0;
+  if (waited >= micros(100)) {
+    // The delivery thread actually blocked on the queue budget: receiver-side
+    // backpressure in action, worth surfacing.
+    metrics().counter("engine.bin_queue_wait_ns")
+        ->add(static_cast<uint64_t>(waited.count()));
   }
   sched_cv_.notify_one();
 }
@@ -407,15 +434,27 @@ void NodeRuntime::submit_task(std::function<void()> task) {
   sched_cv_.notify_one();
 }
 
-void NodeRuntime::defer_task(std::function<void()> task) {
+void NodeRuntime::defer_task(FlowletId flowlet, int64_t tag,
+                             std::function<void()> task) {
   // Paper §2: a flow-controlled task "stops the current execution
   // immediately and will be scheduled in a later time". Re-queue it and let
   // this worker nap briefly so the outbox can drain.
   metrics().counter("engine.stalls")->inc();
+  log_event(obs::EventKind::kStallBegin, flowlet, tag);
   const TimePoint t0 = now();
-  std::this_thread::sleep_for(config_.defer_retry);
+  {
+    obs::TraceSpan span("flow.stall", "engine.flow", node_id(), flowlet, tag);
+    std::this_thread::sleep_for(config_.defer_retry);
+  }
+  const Duration stalled = now() - t0;
   metrics().counter("engine.stall_ns")->add(
-      static_cast<uint64_t>((now() - t0).count()));
+      static_cast<uint64_t>(stalled.count()));
+  metrics().histogram("engine.stall_us")->observe(
+      static_cast<uint64_t>(stalled.count() / 1000));
+  // StallEnd is logged before the task is re-queued, so in every legal log
+  // each stall interval of a (flowlet, tag) task closes before that task can
+  // run again.
+  log_event(obs::EventKind::kStallEnd, flowlet, tag);
   submit_task(std::move(task));
 }
 
@@ -435,6 +474,8 @@ void NodeRuntime::worker_loop() {
         item = std::move(bin_queue_.front());
         bin_queue_.pop_front();
         bin_queue_bytes_ -= item.payload.size();
+        bin_queue_depth_g_->set(static_cast<int64_t>(bin_queue_.size()));
+        bin_queue_bytes_g_->set(static_cast<int64_t>(bin_queue_bytes_));
         sched_space_.notify_one();
         have_item = true;
       } else {
@@ -467,28 +508,45 @@ void NodeRuntime::process_bin(const QueueItem& item) {
   // flowlet's pending_bins reference - completion cannot race past a bin
   // that is merely waiting to be retried.
   if (should_crash_task(edge.dst, item.attempts)) {
+    log_event(obs::EventKind::kTaskRetry, edge.dst, item.attempts + 1);
     retry_bin(item);
     return;
   }
 
-  switch (fs.kind) {
-    case FlowletKind::kMap: {
-      TaskContext ctx(this, job.get(), edge.dst);
-      auto* map = static_cast<MapFlowlet*>(fs.instance.get());
-      KvPair record;
-      while (view.next(&record)) map->process(record, ctx);
-      break;
+  const auto records = static_cast<int64_t>(view.records());
+  const char* task_name = fs.kind == FlowletKind::kMap ? "task.map"
+                          : fs.kind == FlowletKind::kPartialReduce
+                              ? "task.fold"
+                              : "task.stage";
+  const TimePoint t0 = now();
+  {
+    obs::TraceSpan span(task_name, "engine.task", node_id(), edge.dst, records);
+    switch (fs.kind) {
+      case FlowletKind::kMap: {
+        TaskContext ctx(this, job.get(), edge.dst);
+        auto* map = static_cast<MapFlowlet*>(fs.instance.get());
+        KvPair record;
+        while (view.next(&record)) map->process(record, ctx);
+        break;
+      }
+      case FlowletKind::kPartialReduce:
+        fold_partial_bin(fs, view);
+        break;
+      case FlowletKind::kReduce:
+        stage_reduce_bin(edge.dst, fs, view);
+        break;
+      case FlowletKind::kLoader:
+        HLOG_ERROR << "bin routed to loader flowlet " << edge.dst;
+        break;
     }
-    case FlowletKind::kPartialReduce:
-      fold_partial_bin(fs, view);
-      break;
-    case FlowletKind::kReduce:
-      stage_reduce_bin(edge.dst, fs, view);
-      break;
-    case FlowletKind::kLoader:
-      HLOG_ERROR << "bin routed to loader flowlet " << edge.dst;
-      break;
   }
+  const auto task_us = static_cast<uint64_t>((now() - t0).count() / 1000);
+  task_us_h_->observe(task_us);
+  if (fs.task_us != nullptr) fs.task_us->observe(task_us);
+  // Log before the pending_bins decrement becomes visible: completion is
+  // only reachable once pending_bins hits zero, so every kBinProcessed
+  // event of a flowlet precedes its kFlowletComplete in the log.
+  log_event(obs::EventKind::kBinProcessed, edge.dst, records);
   fs.pending_bins.fetch_sub(1);
   maybe_schedule_finish(edge.dst);
 }
@@ -511,6 +569,10 @@ void NodeRuntime::process_control(const QueueItem& item) {
     const FlowletId dst = job->graph->edge(eid).dst;
     if (std::find(seen.begin(), seen.end(), dst) != seen.end()) continue;
     seen.push_back(dst);
+    // Log before the channels_done increment becomes visible (same ordering
+    // argument as kBinProcessed).
+    log_event(obs::EventKind::kChannelComplete, dst,
+              static_cast<int64_t>(item.src));
     job->flowlets[dst]->channels_done.fetch_add(1);
     maybe_schedule_finish(dst);
   }
@@ -524,9 +586,12 @@ void NodeRuntime::run_split_chunk(FlowletId loader, const InputSplit& split,
   if (!job) return;
 
   if (config_.flow_control_enabled && backpressured()) {
-    defer_task([this, loader, split, cursor, attempt] {
-      run_split_chunk(loader, split, cursor, attempt);
-    });
+    // The split cursor identifies the parked task: the retry resumes exactly
+    // where this invocation stopped.
+    defer_task(loader, static_cast<int64_t>(cursor),
+               [this, loader, split, cursor, attempt] {
+                 run_split_chunk(loader, split, cursor, attempt);
+               });
     return;
   }
 
@@ -536,6 +601,7 @@ void NodeRuntime::run_split_chunk(FlowletId loader, const InputSplit& split,
   // cursor.
   if (should_crash_task(loader, attempt)) {
     metrics().counter("engine.task_retries")->inc();
+    log_event(obs::EventKind::kTaskRetry, loader, attempt + 1);
     const Duration nap = retry_backoff(attempt);
     submit_task([this, loader, split, cursor, attempt, nap] {
       std::this_thread::sleep_for(nap);
@@ -548,10 +614,16 @@ void NodeRuntime::run_split_chunk(FlowletId loader, const InputSplit& split,
   auto* ld = static_cast<LoaderFlowlet*>(fs.instance.get());
   uint64_t cur = cursor;
   bool more = false;
+  const TimePoint t0 = now();
   {
+    obs::TraceSpan span("task.load", "engine.task", node_id(), loader,
+                        static_cast<int64_t>(cursor));
     TaskContext ctx(this, job.get(), loader);
     more = ld->load_chunk(split, &cur, ctx);
   }
+  const auto chunk_us = static_cast<uint64_t>((now() - t0).count() / 1000);
+  task_us_h_->observe(chunk_us);
+  if (fs.task_us != nullptr) fs.task_us->observe(chunk_us);
   if (more) {
     submit_task([this, loader, split, cursor = cur] {
       run_split_chunk(loader, split, cursor);
@@ -624,11 +696,15 @@ void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs
     }
     if (!to_spill.empty()) {
       staged_bytes_.fetch_sub(spill_bytes);
+      obs::TraceSpan span("spill.write", "engine.spill", node_id(), flowlet,
+                          static_cast<int64_t>(spill_bytes));
       std::stable_sort(to_spill.begin(), to_spill.end(),
                        [](const auto& a, const auto& b) { return a.first < b.first; });
       storage::RunWriter writer(&node_->store(), spill_file);
       for (const auto& [k, v] : to_spill) writer.add(k, v);
       write_spill_with_retry(writer);
+      log_event(obs::EventKind::kSpill, flowlet,
+                static_cast<int64_t>(spill_bytes));
     }
   }
 }
@@ -653,6 +729,7 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
   // inputs and emits identical output.
   if (should_crash_task(flowlet, attempt)) {
     metrics().counter("engine.task_retries")->inc();
+    log_event(obs::EventKind::kTaskRetry, flowlet, attempt + 1);
     const Duration nap = retry_backoff(attempt);
     submit_task([this, flowlet, stage_index, attempt, nap] {
       std::this_thread::sleep_for(nap);
@@ -661,8 +738,14 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
     return;
   }
 
+  log_event(obs::EventKind::kReduceStageRun, flowlet,
+            static_cast<int64_t>(stage_index));
   internal::ReduceStage& stage = *fs.stages[stage_index];
   auto* red = static_cast<ReduceFlowlet*>(fs.instance.get());
+
+  const TimePoint reduce_t0 = now();
+  obs::TraceSpan reduce_span("task.reduce", "engine.task", node_id(), flowlet,
+                             static_cast<int64_t>(stage_index));
 
   // No staging lock needed: every bin was staged (upstream complete) before
   // the reduce fires.
@@ -741,6 +824,11 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
   }
   stage.spill_paths.clear();
 
+  const auto stage_us =
+      static_cast<uint64_t>((now() - reduce_t0).count() / 1000);
+  task_us_h_->observe(stage_us);
+  if (fs.task_us != nullptr) fs.task_us->observe(stage_us);
+
   if (fs.reduce_tasks_outstanding.fetch_sub(1) == 1) {
     submit_task([this, flowlet] { run_finish(flowlet); });
   }
@@ -757,6 +845,9 @@ void NodeRuntime::maybe_schedule_finish(FlowletId flowlet) {
   if (fs.kind == FlowletKind::kLoader && fs.splits_outstanding.load() != 0) return;
   if (fs.finish_scheduled.exchange(true)) return;
 
+  // Exactly once per (node, flowlet): the exchange above is the Ready gate.
+  log_event(obs::EventKind::kFlowletReady, flowlet);
+
   if (fs.kind == FlowletKind::kReduce) {
     fire_reduce(flowlet);  // run_finish follows after the last stage task
   } else {
@@ -767,6 +858,7 @@ void NodeRuntime::maybe_schedule_finish(FlowletId flowlet) {
 void NodeRuntime::run_finish(FlowletId flowlet) {
   auto job = current_job();
   internal::FlowletState& fs = *job->flowlets[flowlet];
+  obs::TraceSpan span("task.finish", "engine.task", node_id(), flowlet);
 
   {
     TaskContext ctx(this, job.get(), flowlet);
@@ -831,6 +923,7 @@ void NodeRuntime::flush_combine_stripe(internal::JobState& job, EdgeId edge_id,
 void NodeRuntime::flowlet_locally_complete(FlowletId flowlet) {
   auto job = current_job();
   internal::FlowletState& fs = *job->flowlets[flowlet];
+  log_event(obs::EventKind::kFlowletComplete, flowlet);
   fs.complete.store(true);
   broadcast_complete(flowlet);
   const uint32_t done = job->flowlets_complete.fetch_add(1) + 1;
@@ -846,6 +939,8 @@ void NodeRuntime::broadcast_complete(FlowletId flowlet) {
   w.put_varint(job->epoch);
   w.put_varint(kCtlComplete);
   w.put_varint(flowlet);
+  log_event(obs::EventKind::kCompleteBroadcast, flowlet,
+            static_cast<int64_t>(engine_->cluster().size()));
   std::string payload(buf.view());
   for (uint32_t n = 0; n < engine_->cluster().size(); ++n) {
     enqueue_out(n, net::msg_type::kEngineControl, payload);
@@ -974,10 +1069,17 @@ void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) 
       // until then the frame is in our own outbox and cannot be "lost".
       u.next_resend = TimePoint::max();
       u.attempts = 0;
+      frames_sent_c_->inc();
+      obs::trace().record_instant("shuffle.send", "engine.shuffle", node_id(),
+                                  -1, static_cast<int64_t>(seq));
     }
     metrics().gauge("engine.unacked_frames")->inc();
     raw_enqueue_out(dst, net::msg_type::kEngineFrame, std::string(buf.view()));
     return;
+  }
+  if (type == net::msg_type::kEngineBin && dst != node_id()) {
+    obs::trace().record_instant("shuffle.send", "engine.shuffle", node_id(),
+                                -1, static_cast<int64_t>(payload.size()));
   }
   raw_enqueue_out(dst, type, std::move(payload));
 }
@@ -1103,6 +1205,9 @@ void NodeRuntime::resend_due_frames() {
     }
     for (std::string& frame : due) {
       metrics().counter("engine.resends")->inc();
+      obs::trace().record_instant("shuffle.resend", "engine.shuffle",
+                                  node_id(), -1,
+                                  static_cast<int64_t>(frame.size()));
       raw_enqueue_out(dst, net::msg_type::kEngineFrame, std::move(frame));
     }
   }

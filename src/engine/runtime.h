@@ -49,6 +49,7 @@
 #include "engine/graph.h"
 #include "engine/rate_gate.h"
 #include "engine/split.h"
+#include "obs/event_log.h"
 
 namespace hamr::storage {
 class RunWriter;
@@ -104,6 +105,9 @@ struct FlowletState {
   std::unique_ptr<PartialTable> table;
   // Sender-side combine tables for this flowlet's combine out-edges.
   std::map<EdgeId, std::unique_ptr<PartialTable>> combine_tables;
+  // Per-flowlet task latency histogram (engine.flowlet.<id>.task_us),
+  // registered in the node's Metrics at job build time; pointer is stable.
+  Histogram* task_us = nullptr;
 };
 
 // One job's per-node state. Built by the Engine, owned jointly by the
@@ -181,7 +185,10 @@ class NodeRuntime {
   // --- worker-side processing ---
   void worker_loop();
   void submit_task(std::function<void()> task);
-  void defer_task(std::function<void()> task);
+  // Parks a flow-controlled task and re-queues it. `flowlet` and `tag`
+  // identify the parked task (loaders pass their split cursor) so the event
+  // log can pair each StallBegin with the StallEnd of the *same* task.
+  void defer_task(FlowletId flowlet, int64_t tag, std::function<void()> task);
   void process_bin(const QueueItem& item);
   void process_control(const QueueItem& item);
   void run_split_chunk(FlowletId loader, const InputSplit& split, uint64_t cursor,
@@ -221,9 +228,25 @@ class NodeRuntime {
 
   std::string spill_path(FlowletId flowlet, uint32_t stage, uint64_t n) const;
 
+  // Appends to the deterministic event log when one is attached (see
+  // EngineConfig::event_log); one branch when it is not.
+  void log_event(obs::EventKind kind, int64_t flowlet, int64_t aux = -1) {
+    if (config_.event_log != nullptr) {
+      config_.event_log->record(node_id(), kind, flowlet, aux);
+    }
+  }
+
   Engine* engine_;
   cluster::Node* node_;
   EngineConfig config_;
+
+  // Cached hot-path metric handles (registry pointers are stable for the
+  // node's lifetime, so per-bin paths skip the name lookup).
+  Counter* frames_sent_c_ = nullptr;
+  Counter* frames_recv_c_ = nullptr;
+  Gauge* bin_queue_depth_g_ = nullptr;
+  Gauge* bin_queue_bytes_g_ = nullptr;
+  Histogram* task_us_h_ = nullptr;
 
   // Scheduler: a FIFO queue of received items (bins + control; per-sender
   // FIFO order is what the completion protocol relies on) plus a task queue.

@@ -1,5 +1,6 @@
 #include "kvstore/kv_store.h"
 
+#include "common/clock.h"
 #include "common/hash.h"
 #include "serde/serde.h"
 
@@ -120,7 +121,14 @@ std::string pack_kv(std::string_view key, std::string_view value) {
 
 KvStore::KvStore(cluster::Cluster& cluster) : cluster_(cluster) {
   stores_.reserve(cluster_.size());
+  local_ops_.reserve(cluster_.size());
+  remote_ops_.reserve(cluster_.size());
+  remote_us_.reserve(cluster_.size());
   for (uint32_t i = 0; i < cluster_.size(); ++i) {
+    Metrics& m = cluster_.node(i).metrics();
+    local_ops_.push_back(m.counter("kv.local_ops"));
+    remote_ops_.push_back(m.counter("kv.remote_ops"));
+    remote_us_.push_back(m.histogram("kv.remote_us"));
     stores_.push_back(std::make_unique<LocalStore>());
     LocalStore* store = stores_.back().get();
     net::Rpc& rpc = cluster_.node(i).rpc();
@@ -159,35 +167,49 @@ NodeId KvStore::owner_of(std::string_view key) const {
 
 void KvStore::put(NodeId from, std::string_view key, std::string_view value) {
   const NodeId owner = owner_of(key);
+  count_op(from, owner == from);
   if (owner == from) {
     stores_[owner]->put(key, value);
     return;
   }
+  const TimePoint t0 = now();
   cluster_.node(from).rpc().call_sync(owner, rpc_id::kPut, pack_kv(key, value))
       .status().ExpectOk();
+  remote_us_[from]->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
 }
 
 Result<std::string> KvStore::get(NodeId from, std::string_view key) {
   const NodeId owner = owner_of(key);
+  count_op(from, owner == from);
   if (owner == from) return stores_[owner]->get(key);
-  return cluster_.node(from).rpc().call_sync(owner, rpc_id::kGet, std::string(key));
+  const TimePoint t0 = now();
+  auto result =
+      cluster_.node(from).rpc().call_sync(owner, rpc_id::kGet, std::string(key));
+  remote_us_[from]->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
+  return result;
 }
 
 void KvStore::append(NodeId from, std::string_view key, std::string_view value) {
   const NodeId owner = owner_of(key);
+  count_op(from, owner == from);
   if (owner == from) {
     stores_[owner]->append(key, value);
     return;
   }
+  const TimePoint t0 = now();
   cluster_.node(from).rpc().call_sync(owner, rpc_id::kAppend, pack_kv(key, value))
       .status().ExpectOk();
+  remote_us_[from]->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
 }
 
 std::vector<std::string> KvStore::get_list(NodeId from, std::string_view key) {
   const NodeId owner = owner_of(key);
+  count_op(from, owner == from);
   if (owner == from) return stores_[owner]->get_list(key);
+  const TimePoint t0 = now();
   auto result = cluster_.node(from).rpc().call_sync(owner, rpc_id::kGetList,
                                                     std::string(key));
+  remote_us_[from]->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
   result.status().ExpectOk();
   return decode_list(result.value());
 }

@@ -92,8 +92,17 @@ class KvStore {
   LocalStore& local(NodeId node) { return *stores_.at(node); }
 
  private:
+  // Counts one client op on the issuing node's metrics (cached pointers:
+  // kv ops run on flowlet hot paths).
+  void count_op(NodeId from, bool local) {
+    (local ? local_ops_ : remote_ops_)[from]->add(1);
+  }
+
   cluster::Cluster& cluster_;
   std::vector<std::unique_ptr<LocalStore>> stores_;
+  std::vector<Counter*> local_ops_;   // kv.local_ops per node
+  std::vector<Counter*> remote_ops_;  // kv.remote_ops per node
+  std::vector<Histogram*> remote_us_;  // kv.remote_us per node
 };
 
 // Encoding helpers for list values (shared with tests).

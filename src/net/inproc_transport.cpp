@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "fault/fault.h"
+#include "obs/trace.h"
 
 namespace hamr::net {
 
@@ -70,6 +71,8 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
         if (Metrics* m = metrics_[src]; m != nullptr) {
           m->counter("net.fault_dropped")->inc();
         }
+        obs::trace().record_instant("net.fault_drop", "net", src, -1,
+                                    static_cast<int64_t>(type));
         return;
       case fault::MessageFault::kDuplicate:
         copies = 2;
@@ -101,6 +104,7 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
   for (uint32_t copy = 0; copy < copies; ++copy) {
     Message enqueue_msg =
         copy + 1 < copies ? Message{msg.type, msg.src, msg.payload} : std::move(msg);
+    const TimePoint wait_t0 = now();
     std::unique_lock<std::mutex> lock(d.mu);
     // Local sends and priority (RPC-response) traffic bypass the ingress
     // bound; see is_priority_type() for the deadlock-freedom argument.
@@ -110,6 +114,17 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
              d.queue.empty();  // never refuse when empty (oversized message)
     });
     if (stopping_.load()) return;
+    // Sender-side stall on the receiver's bounded ingress: the far end of the
+    // engine's backpressure chain, surfaced per sending node.
+    const Duration ingress_wait = now() - wait_t0;
+    if (!local && ingress_wait >= micros(100)) {
+      if (Metrics* m = metrics_[src]; m != nullptr) {
+        m->counter("net.ingress_wait_ns")
+            ->add(static_cast<uint64_t>(ingress_wait.count()));
+        m->histogram("net.ingress_wait_us")
+            ->observe(static_cast<uint64_t>(ingress_wait.count() / 1000));
+      }
+    }
 
     TimePoint deliver_at;
     if (model) {
@@ -124,6 +139,10 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
     d.queue.push(
         Pending{deliver_at, seq_.fetch_add(1), std::move(enqueue_msg), billed});
     d.queued_bytes += size;
+    if (Metrics* m = metrics_[dst]; m != nullptr) {
+      m->gauge("net.ingress_queued_bytes")
+          ->set(static_cast<int64_t>(d.queued_bytes));
+    }
     d.ingress_ready.notify_one();
   }
 
@@ -163,9 +182,15 @@ void InProcTransport::delivery_loop(NodeId node) {
       item = std::move(const_cast<Pending&>(s.queue.top()));
       s.queue.pop();
       s.queued_bytes -= item.msg.payload.size();
+      if (Metrics* m = metrics_[node]; m != nullptr) {
+        m->gauge("net.ingress_queued_bytes")
+            ->set(static_cast<int64_t>(s.queued_bytes));
+      }
       s.ingress_space.notify_all();
     }
     if (s.handler) {
+      obs::TraceSpan span("net.rx", "net", node, -1,
+                          static_cast<int64_t>(item.msg.type));
       s.handler(std::move(item.msg));
     } else {
       HLOG_WARN << "node " << node << " dropped message type " << item.msg.type

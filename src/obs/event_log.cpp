@@ -1,0 +1,90 @@
+#include "obs/event_log.h"
+
+namespace hamr::obs {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kBinEnqueued:
+      return "bin_enqueued";
+    case EventKind::kBinProcessed:
+      return "bin_processed";
+    case EventKind::kChannelComplete:
+      return "channel_complete";
+    case EventKind::kFlowletReady:
+      return "flowlet_ready";
+    case EventKind::kReduceStageRun:
+      return "reduce_stage_run";
+    case EventKind::kFlowletComplete:
+      return "flowlet_complete";
+    case EventKind::kCompleteBroadcast:
+      return "complete_broadcast";
+    case EventKind::kStallBegin:
+      return "stall_begin";
+    case EventKind::kStallEnd:
+      return "stall_end";
+    case EventKind::kSpill:
+      return "spill";
+    case EventKind::kTaskRetry:
+      return "task_retry";
+  }
+  return "unknown";
+}
+
+void EventLog::record(uint32_t node, EventKind kind, int64_t flowlet,
+                      int64_t aux) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Event ev;
+  ev.seq = events_.size();
+  ev.stream_seq = stream_counts_[{node, flowlet}]++;
+  ev.node = node;
+  ev.flowlet = flowlet;
+  ev.kind = kind;
+  ev.aux = aux;
+  events_.push_back(ev);
+}
+
+std::vector<Event> EventLog::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::vector<Event> EventLog::stream(uint32_t node, int64_t flowlet) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  for (const Event& ev : events_) {
+    if (ev.node == node && ev.flowlet == flowlet) out.push_back(ev);
+  }
+  return out;
+}
+
+uint64_t EventLog::count(EventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const Event& ev : events_) {
+    if (ev.kind == kind) ++n;
+  }
+  return n;
+}
+
+uint64_t EventLog::count(uint32_t node, int64_t flowlet,
+                         EventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const Event& ev : events_) {
+    if (ev.node == node && ev.flowlet == flowlet && ev.kind == kind) ++n;
+  }
+  return n;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  stream_counts_.clear();
+}
+
+}  // namespace hamr::obs

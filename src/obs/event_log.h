@@ -1,0 +1,83 @@
+// Deterministic event log: scheduling-relevant engine events, ordered.
+//
+// The runtime appends an Event at each scheduling-relevant point (bin
+// enqueued / processed, flowlet ready / complete, completion broadcast,
+// channel complete, flow-control stall begin / end, spill, task retry).
+// Every event carries two sequence numbers:
+//
+//   * seq        - global append order across the whole log, and
+//   * stream_seq - the event's index within its (node, flowlet) stream,
+//                  mirroring the PR-1 FaultInjector's counter-indexed
+//                  per-stream decision scheme.
+//
+// Determinism guarantee: the log is a linearization consistent with the
+// engine's happens-before order. Events of one (node, flowlet) stream that
+// are causally ordered by the engine (a flowlet cannot complete before its
+// last bin is processed; a stall cannot end before it began) appear in that
+// order with monotonically increasing stream_seq on every run. Concurrent
+// events (two workers processing different bins of the same flowlet) may
+// interleave differently across runs, but every ordering *invariant* the
+// engine promises holds in every legal log - which is exactly what tests
+// assert, with no sleeps.
+//
+// The log is mutex-protected and unbounded; it is a test/debug facility
+// (enabled by planting a pointer in EngineConfig::event_log), not a hot-path
+// one. When the pointer is null the runtime pays one branch per site.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <vector>
+
+namespace hamr::obs {
+
+enum class EventKind : uint8_t {
+  kBinEnqueued = 0,     // data bin arrived for flowlet; aux = record count
+  kBinProcessed,        // worker finished a bin task; aux = record count
+  kChannelComplete,     // upstream channel into flowlet done; aux = src node
+  kFlowletReady,        // all inputs drained; finish pass scheduled
+  kReduceStageRun,      // reduce stage executed; aux = subpartition index
+  kFlowletComplete,     // flowlet locally complete on this node
+  kCompleteBroadcast,   // node broadcast COMPLETE for flowlet
+  kStallBegin,          // flow control paused a task; aux = task tag
+  kStallEnd,            // the same task resumed; aux = task tag
+  kSpill,               // partial-reduce spill written; aux = bytes
+  kTaskRetry,           // crashed task re-enqueued; aux = attempt number
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  uint64_t seq = 0;         // global append order
+  uint64_t stream_seq = 0;  // index within the (node, flowlet) stream
+  uint32_t node = 0;
+  int64_t flowlet = -1;
+  EventKind kind = EventKind::kBinEnqueued;
+  int64_t aux = -1;
+};
+
+class EventLog {
+ public:
+  void record(uint32_t node, EventKind kind, int64_t flowlet,
+              int64_t aux = -1);
+
+  // Snapshot of all events in global order.
+  std::vector<Event> events() const;
+
+  // Events of one (node, flowlet) stream, in stream order.
+  std::vector<Event> stream(uint32_t node, int64_t flowlet) const;
+
+  uint64_t count(EventKind kind) const;
+  uint64_t count(uint32_t node, int64_t flowlet, EventKind kind) const;
+
+  size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::map<std::pair<uint32_t, int64_t>, uint64_t> stream_counts_;
+};
+
+}  // namespace hamr::obs

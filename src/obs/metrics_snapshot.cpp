@@ -1,0 +1,158 @@
+#include "obs/metrics_snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hamr::obs {
+namespace {
+
+// Metric names are code-chosen identifiers, but escape defensively so the
+// output is always valid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+uint64_t HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || bounds.empty()) return 0;
+  const uint64_t rank = static_cast<uint64_t>(
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(count - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) return bounds[std::min(i, bounds.size() - 1)];
+  }
+  return bounds.back();
+}
+
+MetricsSnapshot MetricsSnapshot::capture(const Metrics& metrics) {
+  MetricsSnapshot snap;
+  for (const auto& [name, value] : metrics.snapshot()) {
+    snap.counters[name] = value;
+  }
+  for (const auto& [name, value] : metrics.gauges_snapshot()) {
+    snap.gauges[name] = value;
+  }
+  for (const auto& [name, h] : metrics.histograms_snapshot()) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.buckets.resize(h->num_buckets());
+    for (size_t i = 0; i < hs.buckets.size(); ++i) {
+      hs.buckets[i] = h->bucket_count(i);
+    }
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void MetricsSnapshot::merge_from(const MetricsSnapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, hs] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms[name] = hs;
+      continue;
+    }
+    HistogramSnapshot& mine = it->second;
+    if (mine.bounds != hs.bounds) continue;  // incompatible; skip silently
+    for (size_t i = 0; i < mine.buckets.size(); ++i) {
+      mine.buckets[i] += hs.buckets[i];
+    }
+    mine.count += hs.count;
+    mine.sum += hs.sum;
+  }
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& before) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    auto it = before.counters.find(name);
+    const uint64_t prev = it == before.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= prev ? value - prev : value;
+  }
+  out.gauges = gauges;  // levels: report the current value
+  for (const auto& [name, hs] : histograms) {
+    auto it = before.histograms.find(name);
+    if (it == before.histograms.end() || it->second.bounds != hs.bounds) {
+      out.histograms[name] = hs;
+      continue;
+    }
+    const HistogramSnapshot& prev = it->second;
+    HistogramSnapshot d;
+    d.bounds = hs.bounds;
+    d.buckets.resize(hs.buckets.size());
+    for (size_t i = 0; i < hs.buckets.size(); ++i) {
+      const uint64_t p = i < prev.buckets.size() ? prev.buckets[i] : 0;
+      d.buckets[i] = hs.buckets[i] >= p ? hs.buckets[i] - p : hs.buckets[i];
+    }
+    d.count = hs.count >= prev.count ? hs.count - prev.count : hs.count;
+    d.sum = hs.sum >= prev.sum ? hs.sum - prev.sum : hs.sum;
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + json_escape(name) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + json_escape(name) + "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hs] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    \"" + json_escape(name) + "\": {";
+    out += "\"count\": " + std::to_string(hs.count);
+    out += ", \"sum\": " + std::to_string(hs.sum);
+    out += ", \"mean\": " + format_double(hs.mean());
+    out += ", \"p50\": " + std::to_string(hs.quantile(0.5));
+    out += ", \"p99\": " + std::to_string(hs.quantile(0.99));
+    out += ", \"buckets\": [";
+    for (size_t i = 0; i < hs.buckets.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(hs.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace hamr::obs

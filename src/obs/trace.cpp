@@ -1,0 +1,150 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hamr::obs {
+namespace {
+
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+uint64_t to_micros_since(TimePoint epoch, TimePoint t) {
+  if (t <= epoch) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(t - epoch)
+          .count());
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t ring_capacity)
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_(now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::Ring* TraceRecorder::this_thread_ring() {
+  // Keyed by recorder id, not pointer: a thread outliving a destroyed
+  // recorder must not hand a new recorder (reusing the same address) the
+  // dead recorder's ring.
+  thread_local std::unordered_map<uint64_t, Ring*> tls_rings;
+  auto it = tls_rings.find(id_);
+  if (it != tls_rings.end()) return it->second;
+
+  auto ring = std::make_unique<Ring>(capacity_);
+  Ring* raw = ring.get();
+  {
+    std::lock_guard<std::mutex> lock(rings_mu_);
+    raw->tid = static_cast<uint32_t>(rings_.size());
+    rings_.push_back(std::move(ring));
+  }
+  tls_rings.emplace(id_, raw);
+  return raw;
+}
+
+void TraceRecorder::push(Ring* ring, const TraceEvent& ev) {
+  uint64_t head = ring->head.load(std::memory_order_relaxed);
+  TraceEvent& slot = ring->slots[head % capacity_];
+  slot = ev;
+  slot.tid = ring->tid;
+  ring->head.store(head + 1, std::memory_order_release);
+}
+
+void TraceRecorder::record_span(const char* name, const char* cat,
+                                uint32_t node, int64_t flowlet, int64_t aux,
+                                TimePoint start, TimePoint end) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'X';
+  ev.node = node;
+  ev.flowlet = flowlet;
+  ev.aux = aux;
+  ev.ts_us = to_micros_since(epoch_, start);
+  uint64_t end_us = to_micros_since(epoch_, end);
+  ev.dur_us = end_us > ev.ts_us ? end_us - ev.ts_us : 0;
+  push(this_thread_ring(), ev);
+}
+
+void TraceRecorder::record_instant(const char* name, const char* cat,
+                                   uint32_t node, int64_t flowlet,
+                                   int64_t aux) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.node = node;
+  ev.flowlet = flowlet;
+  ev.aux = aux;
+  ev.ts_us = to_micros_since(epoch_, now());
+  push(this_thread_ring(), ev);
+}
+
+std::vector<TraceEvent> TraceRecorder::drain() {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  for (auto& ring : rings_) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t oldest = head > capacity_ ? head - capacity_ : 0;
+    uint64_t begin = std::max(ring->consumed, oldest);
+    if (begin > ring->consumed) {
+      dropped_.fetch_add(begin - ring->consumed, std::memory_order_relaxed);
+    }
+    for (uint64_t i = begin; i < head; ++i) {
+      out.push_back(ring->slots[i % capacity_]);
+    }
+    ring->consumed = head;
+  }
+  return out;
+}
+
+size_t TraceRecorder::ring_count() const {
+  std::lock_guard<std::mutex> lock(rings_mu_);
+  return rings_.size();
+}
+
+std::string TraceRecorder::to_json(const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * 120 + 32);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"name\":\"";
+    out += ev.name;  // names/cats are literals; no escaping needed
+    out += "\",\"cat\":\"";
+    out += ev.cat;
+    out += "\",\"ph\":\"";
+    out += ev.phase;
+    out += "\",\"pid\":";
+    out += std::to_string(ev.node);
+    out += ",\"tid\":";
+    out += std::to_string(ev.tid);
+    out += ",\"ts\":";
+    out += std::to_string(ev.ts_us);
+    if (ev.phase == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(ev.dur_us);
+    } else {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    out += ",\"args\":{\"flowlet\":";
+    out += std::to_string(ev.flowlet);
+    out += ",\"aux\":";
+    out += std::to_string(ev.aux);
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+TraceRecorder& trace() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+}  // namespace hamr::obs

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "fault/fault.h"
+#include "obs/trace.h"
 
 namespace hamr::storage {
 
@@ -16,10 +17,13 @@ void ThrottledDevice::charge(uint64_t bytes) {
   const Duration transfer =
       from_seconds(static_cast<double>(billed) / config_.bandwidth_bytes_per_sec);
 
+  const TimePoint t0 = now();
+  obs::TraceSpan span("disk.io", "storage", node_id_,
+                      -1, static_cast<int64_t>(bytes));
   TimePoint finish;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    const TimePoint start = std::max(now(), busy_until_);
+    const TimePoint start = std::max(t0, busy_until_);
     finish = start + config_.seek_latency + transfer;
     busy_until_ = finish;
     total_bytes_ += bytes;
@@ -29,6 +33,11 @@ void ThrottledDevice::charge(uint64_t bytes) {
     metrics_->counter("disk.ops")->inc();
   }
   std::this_thread::sleep_until(finish);
+  if (metrics_ != nullptr) {
+    // Modeled request latency: queueing behind busy_until_ + seek + transfer.
+    metrics_->histogram("disk.request_us")
+        ->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
+  }
 }
 
 Status ThrottledDevice::charge_write(uint64_t bytes) {

@@ -13,6 +13,7 @@
 #include "engine/engine.h"
 #include "engine/loaders.h"
 #include "engine/rate_gate.h"
+#include "obs/event_log.h"
 
 using namespace hamr;
 using namespace hamr::engine;
@@ -574,4 +575,155 @@ TEST(Engine, RunningTwoJobsConcurrentlyRejected) {
   // it concurrently here would race the test itself, so we assert the flag
   // resets by simply running again.)
   env.engine.run(g, synthetic_inputs(loader, 1, 10));
+}
+
+// --- event-log ordering invariants ----------------------------------------------
+//
+// These tests plant an obs::EventLog in the engine config and assert ordering
+// properties that hold in EVERY legal schedule (the runtime records each event
+// before the atomic transition that makes it causally visible). They contain
+// no sleeps and no timing assumptions, so they are deterministic under
+// repetition and under sanitizers.
+
+namespace {
+
+EngineConfig logged_config(obs::EventLog* log) {
+  EngineConfig config = EngineConfig::fast();
+  config.event_log = log;
+  return config;
+}
+
+}  // namespace
+
+TEST(EngineEventLog, BinsProcessedBeforeFlowletCompletes) {
+  obs::EventLog log;
+  Env env(4, logged_config(&log));
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  env.engine.run(g, synthetic_inputs(loader, 4, 200));
+
+  // Every enqueued bin was processed, per (node, flowlet) stream.
+  for (uint32_t n = 0; n < 4; ++n) {
+    EXPECT_EQ(log.count(n, sink, obs::EventKind::kBinEnqueued),
+              log.count(n, sink, obs::EventKind::kBinProcessed))
+        << "node " << n;
+    // State machine is monotonic: every kBinProcessed precedes the node's
+    // kFlowletReady, which precedes its kFlowletComplete.
+    uint64_t ready_seq = 0, complete_seq = 0;
+    uint64_t ready_count = 0, complete_count = 0;
+    for (const obs::Event& ev : log.stream(n, sink)) {
+      if (ev.kind == obs::EventKind::kFlowletReady) {
+        ready_seq = ev.seq;
+        ++ready_count;
+      }
+      if (ev.kind == obs::EventKind::kFlowletComplete) {
+        complete_seq = ev.seq;
+        ++complete_count;
+      }
+    }
+    ASSERT_EQ(ready_count, 1u) << "node " << n;
+    ASSERT_EQ(complete_count, 1u) << "node " << n;
+    EXPECT_LT(ready_seq, complete_seq) << "node " << n;
+    for (const obs::Event& ev : log.stream(n, sink)) {
+      if (ev.kind == obs::EventKind::kBinProcessed) {
+        EXPECT_LT(ev.seq, ready_seq) << "node " << n;
+      }
+    }
+  }
+}
+
+TEST(EngineEventLog, CompletionPropagatesExactlyOnce) {
+  obs::EventLog log;
+  Env env(3, logged_config(&log));
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  env.engine.run(g, synthetic_inputs(loader, 3, 50));
+
+  // Each (node, flowlet) goes Ready -> Complete -> Broadcast exactly once:
+  // the finish_scheduled exchange is the only gate into that chain.
+  for (uint32_t n = 0; n < 3; ++n) {
+    for (FlowletId f : {loader, sink}) {
+      EXPECT_EQ(log.count(n, f, obs::EventKind::kFlowletReady), 1u)
+          << "node " << n << " flowlet " << f;
+      EXPECT_EQ(log.count(n, f, obs::EventKind::kFlowletComplete), 1u)
+          << "node " << n << " flowlet " << f;
+      EXPECT_EQ(log.count(n, f, obs::EventKind::kCompleteBroadcast), 1u)
+          << "node " << n << " flowlet " << f;
+    }
+  }
+}
+
+TEST(EngineEventLog, ReduceFiresAfterAllUpstreamChannelsComplete) {
+  obs::EventLog log;
+  Env env(3, logged_config(&log));
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto red = g.add_reduce("r", [] { return std::make_unique<CollectorReduce>(); });
+  g.connect(loader, red);
+  env.engine.run(g, synthetic_inputs(loader, 3, 100));
+
+  for (uint32_t n = 0; n < 3; ++n) {
+    const auto stream = log.stream(n, red);
+    // One COMPLETE channel per upstream node, from distinct sources.
+    std::set<int64_t> sources;
+    uint64_t last_channel_seq = 0;
+    uint64_t ready_seq = 0;
+    for (const obs::Event& ev : stream) {
+      if (ev.kind == obs::EventKind::kChannelComplete) {
+        sources.insert(ev.aux);
+        last_channel_seq = std::max(last_channel_seq, ev.seq);
+      }
+      if (ev.kind == obs::EventKind::kFlowletReady) ready_seq = ev.seq;
+    }
+    EXPECT_EQ(sources.size(), 3u) << "node " << n;
+    // The reduce only becomes Ready after the LAST channel completes, and
+    // its stage tasks run only after Ready.
+    EXPECT_GT(ready_seq, last_channel_seq) << "node " << n;
+    for (const obs::Event& ev : stream) {
+      if (ev.kind == obs::EventKind::kReduceStageRun) {
+        EXPECT_GT(ev.seq, ready_seq) << "node " << n;
+      }
+    }
+  }
+}
+
+TEST(EngineEventLog, FlowControlStallsPauseAndResumeSameTask) {
+  obs::EventLog log;
+  EngineConfig config = logged_config(&log);
+  config.flow_control_high_bytes = 2 * 1024;  // tiny watermark: force stalls
+  config.bin_size_bytes = 512;
+  Env env(2, config);
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(16); });
+  auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  const auto result = env.engine.run(g, synthetic_inputs(loader, 2, 3000));
+
+  const uint64_t begins = log.count(obs::EventKind::kStallBegin);
+  ASSERT_GT(begins, 0u) << "watermark too high to trip flow control";
+  EXPECT_EQ(begins, log.count(obs::EventKind::kStallEnd));
+  EXPECT_EQ(begins, result.flow_control_stalls);
+
+  // Within each (node, loader) stream, stalls pause and resume the SAME
+  // task: every StallBegin(tag) is closed by a later StallEnd(tag) before
+  // that tag can stall again (defer logs End before re-queuing the task).
+  for (uint32_t n = 0; n < 2; ++n) {
+    std::multiset<int64_t> open;
+    for (const obs::Event& ev : log.stream(n, loader)) {
+      if (ev.kind == obs::EventKind::kStallBegin) {
+        EXPECT_EQ(open.count(ev.aux), 0u)
+            << "task tag " << ev.aux << " stalled twice without resuming";
+        open.insert(ev.aux);
+      } else if (ev.kind == obs::EventKind::kStallEnd) {
+        ASSERT_EQ(open.count(ev.aux), 1u)
+            << "StallEnd for tag " << ev.aux << " without open StallBegin";
+        open.erase(ev.aux);
+      }
+    }
+    EXPECT_TRUE(open.empty()) << "node " << n << " has unclosed stalls";
+  }
 }

@@ -17,6 +17,7 @@
 #include "fault/fault.h"
 #include "gen/generators.h"
 #include "net/message.h"
+#include "obs/metrics_snapshot.h"
 
 using namespace hamr;
 
@@ -195,6 +196,16 @@ TEST(Chaos, DroppedFramesAreRetransmittedUntilAcked) {
   EXPECT_GT(chaos.injector.stats().messages_dropped, 0u);
   // Every dropped data frame had to be retransmitted for the job to finish.
   EXPECT_GT(info.engine_result.frames_resent, 0u);
+
+  // The JobResult metrics snapshot carries the same story: resends happened,
+  // frames flowed, and the scalar view agrees with the snapshot counter.
+  const obs::MetricsSnapshot& m = info.engine_result.metrics;
+  EXPECT_GT(m.counter("engine.resends"), 0u);
+  EXPECT_EQ(m.counter("engine.resends"), info.engine_result.frames_resent);
+  EXPECT_GT(m.counter("engine.frames_sent"), 0u);
+  EXPECT_GT(m.counter("net.fault_dropped"), 0u);
+  // First-delivery receives never exceed originals sent.
+  EXPECT_LE(m.counter("engine.frames_recv"), m.counter("engine.frames_sent"));
 }
 
 TEST(Chaos, WordCountFullReduceSurvivesCrashAndDiskChaos) {
@@ -283,6 +294,27 @@ TEST(Chaos, ZeroFaultPlanRunsCleanlyOverReliableChannel) {
   EXPECT_EQ(info.engine_result.faults_injected, 0u);
   EXPECT_EQ(info.engine_result.task_retries, 0u);
   EXPECT_EQ(info.engine_result.duplicate_frames, 0u);
+
+  // With a zero-fault plan EVERY fault counter in the metrics snapshot is
+  // zero - the reliable channel must not manufacture faults of its own.
+  const obs::MetricsSnapshot& m = info.engine_result.metrics;
+  for (const char* name :
+       {"engine.resends", "engine.dup_frames", "engine.task_retries",
+        "engine.spill_retries", "net.fault_dropped", "disk.write_errors"}) {
+    EXPECT_EQ(m.counter(name), 0u) << name;
+  }
+
+  // The same snapshot carries the per-flowlet task-latency histograms
+  // registered at job build time (wordcount: loader 0 -> map 1 -> reduce 2).
+  for (int f : {0, 1, 2}) {
+    const std::string name = "engine.flowlet." + std::to_string(f) + ".task_us";
+    const obs::HistogramSnapshot* h = m.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count, 0u) << name;
+  }
+  const obs::HistogramSnapshot* task_us = m.histogram("engine.task_us");
+  ASSERT_NE(task_us, nullptr);
+  EXPECT_GT(task_us->count, 0u);
 }
 
 TEST(Chaos, ReliableShuffleFlagWorksWithoutInjector) {

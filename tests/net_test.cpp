@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -132,30 +134,55 @@ TEST(InProc, SelfSendSkipsCostModel) {
 TEST(InProc, IngressBackpressureBlocksSender) {
   NetConfig config;
   config.enabled = false;
-  config.ingress_capacity_bytes = 1024;
+  config.ingress_capacity_bytes = 1024;  // room for exactly two 512 B messages
   InProcTransport fabric(2, config);
-  // Slow receiver: holds the delivery thread.
-  std::atomic<int> delivered{0};
-  std::atomic<bool> release{false};
+  // Receiver parks the delivery thread in the handler until released.
+  std::mutex handler_mu;
+  std::condition_variable handler_cv;
+  bool release = false;
   fabric.endpoint(0)->set_handler([](Message&&) {});
   fabric.endpoint(1)->set_handler([&](Message&&) {
-    ++delivered;
-    while (!release.load()) std::this_thread::sleep_for(millis(1));
+    std::unique_lock<std::mutex> lock(handler_mu);
+    handler_cv.wait(lock, [&] { return release; });
   });
   fabric.start();
 
-  std::atomic<int> sent{0};
+  std::mutex sent_mu;
+  std::condition_variable sent_cv;
+  int sent = 0;
   std::thread sender([&] {
     for (int i = 0; i < 50; ++i) {
       fabric.endpoint(0)->send(1, 1, std::string(512, 'x'));
-      ++sent;
+      {
+        std::lock_guard<std::mutex> lock(sent_mu);
+        ++sent;
+      }
+      sent_cv.notify_all();
     }
   });
-  std::this_thread::sleep_for(millis(100));
-  EXPECT_LT(sent.load(), 50);  // blocked well before the end
-  release = true;
+
+  // A message's ingress bytes are released when it is DEQUEUED, so with the
+  // first message parked in the handler the queue admits exactly two more:
+  // the sender must reach 3 sends and then stall on the fourth. Waiting on
+  // the condition variable (not sleeping) makes the positive half exact; the
+  // bounded negative wait can only fail if a fourth send actually happens.
+  {
+    std::unique_lock<std::mutex> lock(sent_mu);
+    ASSERT_TRUE(sent_cv.wait_for(lock, std::chrono::seconds(10),
+                                 [&] { return sent >= 3; }));
+    EXPECT_FALSE(
+        sent_cv.wait_for(lock, millis(100), [&] { return sent > 3; }))
+        << "sender advanced past the ingress bound while the receiver was held";
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(handler_mu);
+    release = true;
+  }
+  handler_cv.notify_all();
   sender.join();
-  EXPECT_EQ(sent.load(), 50);
+  std::lock_guard<std::mutex> lock(sent_mu);
+  EXPECT_EQ(sent, 50);
 }
 
 TEST(InProc, CountsMetrics) {

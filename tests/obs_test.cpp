@@ -1,0 +1,368 @@
+// Unit tests for the observability layer: TraceRecorder (ring buffers,
+// wraparound, multi-thread drain, Chrome trace JSON), MetricsSnapshot
+// (capture / delta / merge / JSON), and the deterministic EventLog.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "obs/event_log.h"
+#include "obs/metrics_snapshot.h"
+#include "obs/trace.h"
+
+using namespace hamr;
+using namespace hamr::obs;
+
+namespace {
+
+// Minimal recursive-descent JSON validator: enough to prove the emitters
+// produce well-formed documents that chrome://tracing / Perfetto can parse,
+// without pulling a JSON library into the build.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+// --- TraceRecorder --------------------------------------------------------------
+
+TEST(TraceRecorder, RecordsAndDrainsInOrder) {
+  TraceRecorder rec;
+  rec.enable();
+  const TimePoint t0 = now();
+  rec.record_span("task.map", "engine.task", /*node=*/2, /*flowlet=*/7,
+                  /*aux=*/11, t0, t0 + micros(250));
+  rec.record_instant("shuffle.send", "engine.shuffle", 2, 7, 42);
+
+  const auto events = rec.drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "task.map");
+  EXPECT_EQ(events[0].phase, 'X');
+  EXPECT_EQ(events[0].node, 2u);
+  EXPECT_EQ(events[0].flowlet, 7);
+  EXPECT_EQ(events[0].aux, 11);
+  EXPECT_EQ(events[0].dur_us, 250u);
+  EXPECT_STREQ(events[1].name, "shuffle.send");
+  EXPECT_EQ(events[1].phase, 'i');
+  EXPECT_EQ(events[1].dur_us, 0u);
+  EXPECT_GE(events[1].ts_us, events[0].ts_us);
+
+  EXPECT_TRUE(rec.drain().empty());  // a drain consumes
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder rec;
+  ASSERT_FALSE(rec.enabled());
+  rec.record_instant("x", "y", 0);
+  EXPECT_TRUE(rec.drain().empty());
+  EXPECT_EQ(rec.ring_count(), 0u);  // never even registered a ring
+}
+
+TEST(TraceRecorder, RingWraparoundKeepsNewestAndCountsDropped) {
+  TraceRecorder rec(/*ring_capacity=*/8);
+  rec.enable();
+  for (int i = 0; i < 20; ++i) rec.record_instant("e", "c", 0, -1, i);
+
+  const auto events = rec.drain();
+  ASSERT_EQ(events.size(), 8u);  // ring keeps the newest `capacity` events
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].aux, static_cast<int64_t>(12 + i));
+  }
+  EXPECT_EQ(rec.dropped(), 12u);
+}
+
+TEST(TraceRecorder, MultiThreadRingsDrainAfterJoin) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  TraceRecorder rec;
+  rec.enable();
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&rec, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec.record_instant("e", "c", static_cast<uint32_t>(t), -1, i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(rec.ring_count(), static_cast<size_t>(kThreads));
+  const auto events = rec.drain();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kPerThread));
+  EXPECT_EQ(rec.dropped(), 0u);
+
+  // Per-thread order is preserved: within one tid, aux counts 0..99.
+  std::map<uint32_t, int64_t> next_aux;
+  std::set<uint32_t> tids;
+  for (const TraceEvent& ev : events) {
+    tids.insert(ev.tid);
+    EXPECT_EQ(ev.aux, next_aux[ev.tid]++) << "tid " << ev.tid;
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
+}
+
+TEST(TraceRecorder, EmitsValidChromeTraceJson) {
+  TraceRecorder rec;
+  rec.enable();
+  const TimePoint t0 = now();
+  rec.record_span("task.map", "engine.task", 1, 3, 5, t0, t0 + micros(10));
+  rec.record_instant("bin.enqueue", "engine.bin", 1, 3, 9);
+  const std::string json = rec.drain_to_json();
+
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"task.map\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(TraceRecorder, EmptyDrainStillValidJson) {
+  TraceRecorder rec;
+  const std::string json = rec.drain_to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// --- MetricsSnapshot ------------------------------------------------------------
+
+TEST(MetricsSnapshot, CaptureReadsRegistry) {
+  Metrics m;
+  m.counter("a.count")->add(5);
+  m.gauge("a.level")->set(-3);
+  m.histogram("a.lat_us")->observe(100);
+  m.histogram("a.lat_us")->observe(200);
+
+  const MetricsSnapshot snap = MetricsSnapshot::capture(m);
+  EXPECT_EQ(snap.counter("a.count"), 5u);
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  EXPECT_EQ(snap.gauge("a.level"), -3);
+  ASSERT_NE(snap.histogram("a.lat_us"), nullptr);
+  EXPECT_EQ(snap.histogram("a.lat_us")->count, 2u);
+  EXPECT_EQ(snap.histogram("a.lat_us")->sum, 300u);
+  EXPECT_DOUBLE_EQ(snap.histogram("a.lat_us")->mean(), 150.0);
+  EXPECT_EQ(snap.histogram("missing"), nullptr);
+}
+
+TEST(MetricsSnapshot, DeltaSubtractsCountersKeepsGaugeLevels) {
+  Metrics m;
+  m.counter("c")->add(10);
+  m.gauge("g")->set(7);
+  m.histogram("h")->observe(50);
+  const MetricsSnapshot before = MetricsSnapshot::capture(m);
+
+  m.counter("c")->add(4);
+  m.gauge("g")->set(2);  // level DROPS; the delta keeps the current level
+  m.histogram("h")->observe(60);
+  m.histogram("h")->observe(70);
+  m.counter("new")->inc();  // registered after `before`
+
+  const MetricsSnapshot delta = MetricsSnapshot::capture(m).delta_since(before);
+  EXPECT_EQ(delta.counter("c"), 4u);
+  EXPECT_EQ(delta.counter("new"), 1u);
+  EXPECT_EQ(delta.gauge("g"), 2);
+  ASSERT_NE(delta.histogram("h"), nullptr);
+  EXPECT_EQ(delta.histogram("h")->count, 2u);
+  EXPECT_EQ(delta.histogram("h")->sum, 130u);
+}
+
+TEST(MetricsSnapshot, MergeSumsAcrossNodes) {
+  Metrics node0, node1;
+  node0.counter("c")->add(3);
+  node1.counter("c")->add(4);
+  node0.gauge("g")->set(10);
+  node1.gauge("g")->set(5);
+  node0.histogram("h")->observe(1);
+  node1.histogram("h")->observe(3);
+
+  MetricsSnapshot merged;
+  merged.merge_from(MetricsSnapshot::capture(node0));
+  merged.merge_from(MetricsSnapshot::capture(node1));
+  EXPECT_EQ(merged.counter("c"), 7u);
+  EXPECT_EQ(merged.gauge("g"), 15);
+  ASSERT_NE(merged.histogram("h"), nullptr);
+  EXPECT_EQ(merged.histogram("h")->count, 2u);
+  EXPECT_EQ(merged.histogram("h")->sum, 4u);
+}
+
+TEST(MetricsSnapshot, QuantileMirrorsHistogram) {
+  Metrics m;
+  Histogram* h = m.histogram("h");
+  for (uint64_t v : {1u, 2u, 4u, 100u, 5000u, 100000u}) h->observe(v);
+  const MetricsSnapshot snap = MetricsSnapshot::capture(m);
+  ASSERT_NE(snap.histogram("h"), nullptr);
+  EXPECT_EQ(snap.histogram("h")->quantile(0.5), h->quantile(0.5));
+  EXPECT_EQ(snap.histogram("h")->quantile(0.99), h->quantile(0.99));
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0u);  // empty => 0
+}
+
+TEST(MetricsSnapshot, ToJsonIsWellFormed) {
+  Metrics m;
+  m.counter("engine.records")->add(42);
+  m.counter("with\"quote\\and\tcontrol")->inc();  // exercises escaping
+  m.gauge("net.ingress_queued_bytes")->set(-1);
+  m.histogram("engine.task_us")->observe(123);
+
+  const std::string json = MetricsSnapshot::capture(m).to_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine.records\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  EXPECT_TRUE(JsonChecker(MetricsSnapshot{}.to_json()).valid());
+}
+
+// --- EventLog -------------------------------------------------------------------
+
+TEST(EventLog, AssignsGlobalAndPerStreamSequences) {
+  EventLog log;
+  log.record(0, EventKind::kBinEnqueued, 1, 10);
+  log.record(1, EventKind::kBinEnqueued, 1, 20);
+  log.record(0, EventKind::kBinProcessed, 1, 10);
+  log.record(0, EventKind::kFlowletComplete, 2);
+
+  const auto all = log.events();
+  ASSERT_EQ(all.size(), 4u);
+  for (size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i].seq, i);
+
+  // stream_seq counts within (node, flowlet): (0,1) got 0,1; (1,1) and
+  // (0,2) each start at 0.
+  const auto s01 = log.stream(0, 1);
+  ASSERT_EQ(s01.size(), 2u);
+  EXPECT_EQ(s01[0].stream_seq, 0u);
+  EXPECT_EQ(s01[1].stream_seq, 1u);
+  EXPECT_EQ(s01[0].kind, EventKind::kBinEnqueued);
+  EXPECT_EQ(s01[1].kind, EventKind::kBinProcessed);
+  EXPECT_EQ(log.stream(1, 1).at(0).stream_seq, 0u);
+  EXPECT_EQ(log.stream(0, 2).at(0).stream_seq, 0u);
+}
+
+TEST(EventLog, CountsAndClear) {
+  EventLog log;
+  log.record(0, EventKind::kStallBegin, 3, 100);
+  log.record(0, EventKind::kStallEnd, 3, 100);
+  log.record(1, EventKind::kStallBegin, 3, 200);
+
+  EXPECT_EQ(log.count(EventKind::kStallBegin), 2u);
+  EXPECT_EQ(log.count(0, 3, EventKind::kStallBegin), 1u);
+  EXPECT_EQ(log.count(1, 3, EventKind::kStallBegin), 1u);
+  EXPECT_EQ(log.count(EventKind::kSpill), 0u);
+  EXPECT_EQ(log.size(), 3u);
+
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+  // stream_seq restarts after clear.
+  log.record(0, EventKind::kStallBegin, 3, 100);
+  EXPECT_EQ(log.events().at(0).stream_seq, 0u);
+}
+
+TEST(EventLog, KindNamesAreStable) {
+  EXPECT_STREQ(to_string(EventKind::kBinEnqueued), "bin_enqueued");
+  EXPECT_STREQ(to_string(EventKind::kFlowletComplete), "flowlet_complete");
+  EXPECT_STREQ(to_string(EventKind::kStallBegin), "stall_begin");
+}
