@@ -1,9 +1,17 @@
-// Microbenchmarks for the serialization substrate: varint, record, and bin
-// encode/decode throughput (google-benchmark).
+// Microbenchmarks for the serialization substrate (varint, record, and bin
+// encode/decode throughput) and the engine's hot memory layouts: map-vs-flat
+// combine folding, pair-vector-vs-arena reduce staging, and pooled bin
+// building (google-benchmark).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/pool.h"
 #include "common/random.h"
 #include "engine/bin.h"
+#include "engine/flat_table.h"
+#include "engine/runtime.h"
 #include "serde/codec.h"
 #include "serde/serde.h"
 
@@ -85,5 +93,139 @@ static void BM_TypedVectorRoundTrip(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * vec.size());
 }
 BENCHMARK(BM_TypedVectorRoundTrip);
+
+// --- combine accumulator layouts ---------------------------------------------
+//
+// The fold loop of sender-side combining / partial reduce: a stream of
+// records with a skewed key distribution accumulates into key -> acc. The
+// unordered_map variant is the engine's former layout (std::string key
+// materialized per probe); the FlatAccTable variant probes with the record's
+// string_view directly.
+
+namespace {
+
+std::vector<std::string> fold_keys(size_t records, size_t distinct) {
+  Rng rng(7);
+  std::vector<std::string> keys;
+  keys.reserve(records);
+  for (size_t i = 0; i < records; ++i) {
+    keys.push_back("word-" + std::to_string(rng.next_below(distinct)));
+  }
+  return keys;
+}
+
+constexpr size_t kFoldRecords = 8192;
+
+}  // namespace
+
+static void BM_CombineFoldUnorderedMap(benchmark::State& state) {
+  const auto keys = fold_keys(kFoldRecords, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::unordered_map<std::string, std::string> acc;
+    for (const std::string& k : keys) {
+      // The former hot path: probing allocates a std::string key.
+      std::string& v = acc[std::string(std::string_view(k))];
+      if (v.empty()) v = "0";
+      v.back() = static_cast<char>('0' + ((v.back() - '0' + 1) % 10));
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kFoldRecords);
+}
+BENCHMARK(BM_CombineFoldUnorderedMap)->Arg(64)->Arg(4096);
+
+static void BM_CombineFoldFlatTable(benchmark::State& state) {
+  const auto keys = fold_keys(kFoldRecords, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    engine::FlatAccTable acc;
+    for (const std::string& k : keys) {
+      std::string& v = acc.find_or_insert(k);
+      if (v.empty()) v = "0";
+      v.back() = static_cast<char>('0' + ((v.back() - '0' + 1) % 10));
+    }
+    benchmark::DoNotOptimize(acc.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kFoldRecords);
+}
+BENCHMARK(BM_CombineFoldFlatTable)->Arg(64)->Arg(4096);
+
+// --- reduce staging layouts --------------------------------------------------
+//
+// Stage N records then sort them by key, as the reduce path does before the
+// merge: two heap strings per record + pair sort (former layout) vs one
+// arena bump per record + prefix-keyed index sort.
+
+namespace {
+
+constexpr size_t kStageRecords = 8192;
+
+std::vector<std::pair<std::string, std::string>> stage_input() {
+  Rng rng(13);
+  std::vector<std::pair<std::string, std::string>> records;
+  records.reserve(kStageRecords);
+  for (size_t i = 0; i < kStageRecords; ++i) {
+    records.emplace_back("key-" + std::to_string(rng.next_below(2048)),
+                         std::string(24, 'v'));
+  }
+  return records;
+}
+
+}  // namespace
+
+static void BM_StagePairVectorAndSort(benchmark::State& state) {
+  const auto input = stage_input();
+  for (auto _ : state) {
+    std::vector<std::pair<std::string, std::string>> staged;
+    for (const auto& [k, v] : input) staged.emplace_back(k, v);
+    std::stable_sort(staged.begin(), staged.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    benchmark::DoNotOptimize(staged.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kStageRecords);
+}
+BENCHMARK(BM_StagePairVectorAndSort);
+
+static void BM_StageArenaAndSort(benchmark::State& state) {
+  const auto input = stage_input();
+  for (auto _ : state) {
+    Arena arena;
+    std::vector<engine::internal::ReduceStage::Rec> index;
+    for (const auto& [k, v] : input) {
+      char* data = arena.alloc(k.size() + v.size());
+      std::memcpy(data, k.data(), k.size());
+      std::memcpy(data + k.size(), v.data(), v.size());
+      engine::internal::ReduceStage::Rec rec;
+      rec.prefix = engine::internal::key_prefix(k);
+      rec.key_len = static_cast<uint32_t>(k.size());
+      rec.value_len = static_cast<uint32_t>(v.size());
+      rec.data = data;
+      index.push_back(rec);
+    }
+    std::stable_sort(index.begin(), index.end(), engine::internal::reduce_rec_less);
+    benchmark::DoNotOptimize(index.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kStageRecords);
+}
+BENCHMARK(BM_StageArenaAndSort);
+
+// --- pooled bin building -----------------------------------------------------
+
+static void BM_BinBuildPooled(benchmark::State& state) {
+  const std::string value(static_cast<size_t>(state.range(0)), 'x');
+  BufferPool pool;
+  for (auto _ : state) {
+    engine::BinBuilder builder(1, 0);
+    for (int i = 0; i < 512; ++i) builder.add("key", value);
+    std::string bin = builder.take(&pool);
+    engine::BinView view(bin);
+    engine::KvPair record;
+    size_t total = 0;
+    while (view.next(&record)) total += record.value.size();
+    benchmark::DoNotOptimize(total);
+    pool.release(std::move(bin));  // next take() reuses this capacity
+  }
+  state.SetBytesProcessed(state.iterations() * 512 * (3 + value.size()));
+}
+BENCHMARK(BM_BinBuildPooled)->Arg(16)->Arg(256);
 
 BENCHMARK_MAIN();

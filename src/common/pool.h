@@ -1,0 +1,74 @@
+// BufferPool: node-level recycling of payload buffers.
+//
+// Every shuffle bin and every retransmission frame used to allocate a fresh
+// std::string on build and free it after send/ack. A BufferPool keeps a
+// bounded freelist of those strings so their heap capacity survives the
+// round trip: BinBuilder::take() acquires, the worker loop releases a
+// processed bin's payload, and the reliable channel releases acked frames.
+//
+// Bounded on both axes: at most `max_buffers` strings are retained, and a
+// returned string whose capacity exceeds `max_buffer_bytes` is dropped so a
+// single jumbo bin cannot pin memory forever. Thread-safe; the counters (one
+// atomic bump per acquire) feed `engine.pool_hits` / `engine.pool_misses`.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace hamr {
+
+class BufferPool {
+ public:
+  explicit BufferPool(size_t max_buffers = 256,
+                      size_t max_buffer_bytes = 1024 * 1024)
+      : max_buffers_(max_buffers), max_buffer_bytes_(max_buffer_bytes) {}
+
+  void set_metrics(Counter* hits, Counter* misses) {
+    hits_ = hits;
+    misses_ = misses;
+  }
+
+  // An empty string, reusing a pooled buffer's capacity when one is free.
+  std::string acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::string buf = std::move(free_.back());
+        free_.pop_back();
+        if (hits_ != nullptr) hits_->inc();
+        return buf;
+      }
+    }
+    if (misses_ != nullptr) misses_->inc();
+    return std::string();
+  }
+
+  // Returns a buffer to the pool (cleared; capacity kept). Oversized or
+  // surplus buffers are simply freed.
+  void release(std::string&& buf) {
+    if (buf.capacity() == 0 || buf.capacity() > max_buffer_bytes_) return;
+    buf.clear();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() >= max_buffers_) return;  // drop: pool is full
+    free_.push_back(std::move(buf));
+  }
+
+  size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  const size_t max_buffers_;
+  const size_t max_buffer_bytes_;
+  Counter* hits_ = nullptr;
+  Counter* misses_ = nullptr;
+  mutable std::mutex mu_;
+  std::vector<std::string> free_;
+};
+
+}  // namespace hamr

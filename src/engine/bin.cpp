@@ -3,7 +3,13 @@
 namespace hamr::engine {
 
 BinBuilder::BinBuilder(uint64_t job_epoch, EdgeId edge)
-    : job_epoch_(job_epoch), edge_(edge) {}
+    : job_epoch_(job_epoch), edge_(edge), open_(true) {}
+
+void BinBuilder::open(uint64_t job_epoch, EdgeId edge) {
+  job_epoch_ = job_epoch;
+  edge_ = edge;
+  open_ = true;
+}
 
 void BinBuilder::add(std::string_view key, std::string_view value) {
   serde::Writer w(buf_);
@@ -12,16 +18,19 @@ void BinBuilder::add(std::string_view key, std::string_view value) {
   ++count_;
 }
 
-std::string BinBuilder::take() {
-  ByteBuffer out(buf_.size() + 16);
-  serde::Writer w(out);
+std::string BinBuilder::take(BufferPool* pool) {
+  ByteBuffer header(32);
+  serde::Writer w(header);
   w.put_varint(job_epoch_);
   w.put_varint(edge_);
   w.put_varint(count_);
+  std::string out = pool != nullptr ? pool->acquire() : std::string();
+  out.reserve(header.size() + buf_.size());
+  out.append(header.view());
   out.append(buf_.view());
   buf_.clear();
   count_ = 0;
-  return std::string(out.view());
+  return out;
 }
 
 BinView::BinView(std::string_view data) : data_(data) {

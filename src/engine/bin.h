@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "common/bytes.h"
+#include "common/pool.h"
 #include "serde/serde.h"
 
 namespace hamr::engine {
@@ -23,9 +24,16 @@ struct KvPair {
 };
 
 // Builds one bin. Not thread-safe; each task uses its own builders.
+// Default-constructed builders are closed (dense per-task builder tables
+// construct every slot up front and open slots on first use).
 class BinBuilder {
  public:
+  BinBuilder() = default;
   BinBuilder(uint64_t job_epoch, EdgeId edge);
+
+  // Arms a closed (or freshly taken) builder for a new (epoch, edge).
+  void open(uint64_t job_epoch, EdgeId edge);
+  bool is_open() const { return open_; }
 
   void add(std::string_view key, std::string_view value);
 
@@ -34,12 +42,14 @@ class BinBuilder {
   bool empty() const { return count_ == 0; }
 
   // Finalizes into a transferable string (header + records) and resets the
-  // builder for reuse.
-  std::string take();
+  // builder for reuse. With a pool, the output string reuses a recycled
+  // payload buffer's capacity instead of allocating.
+  std::string take(BufferPool* pool = nullptr);
 
  private:
-  uint64_t job_epoch_;
-  EdgeId edge_;
+  uint64_t job_epoch_ = 0;
+  EdgeId edge_ = 0;
+  bool open_ = false;
   ByteBuffer buf_;
   uint64_t count_ = 0;
 };

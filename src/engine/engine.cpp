@@ -12,10 +12,12 @@ namespace hamr::engine {
 
 namespace {
 
-internal::PartialTable* make_table(uint32_t stripes, double gate_rate) {
+internal::PartialTable* make_table(uint32_t stripes, double gate_rate,
+                                   Gauge* arena_gauge) {
   auto* table = new internal::PartialTable();
   table->stripes.resize(stripes == 0 ? 1 : stripes);
   for (auto& stripe : table->stripes) {
+    stripe.acc = FlatAccTable(arena_gauge);
     stripe.gate = std::make_unique<RateGate>(gate_rate);
   }
   return table;
@@ -100,22 +102,27 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
       fs->task_us = cluster_.node(n).metrics().histogram(
           "engine.flowlet." + std::to_string(f) + ".task_us");
       fs->channels_total = distinct_upstreams[f] * num_nodes;
+      // All of a node's staging arenas (reduce stages, partial-reduce and
+      // combine key arenas) report into one engine.arena_bytes gauge.
+      Gauge* arena_gauge = cluster_.node(n).metrics().gauge("engine.arena_bytes");
       if (gnode.kind == FlowletKind::kReduce) {
         const uint32_t stages = std::max(1u, config_.reduce_subpartitions);
         for (uint32_t s = 0; s < stages; ++s) {
-          fs->stages.push_back(std::make_unique<internal::ReduceStage>());
+          fs->stages.push_back(
+              std::make_unique<internal::ReduceStage>(arena_gauge));
         }
       }
       if (gnode.kind == FlowletKind::kPartialReduce) {
         fs->table.reset(make_table(config_.partial_reduce_stripes,
-                                   config_.shared_update_rate_per_stripe));
+                                   config_.shared_update_rate_per_stripe,
+                                   arena_gauge));
       }
       for (EdgeId eid : gnode.out_edges) {
         if (graph.edge(eid).options.combine) {
           fs->combine_tables.emplace(
               eid, std::unique_ptr<internal::PartialTable>(make_table(
                        config_.partial_reduce_stripes,
-                       config_.shared_update_rate_per_stripe)));
+                       config_.shared_update_rate_per_stripe, arena_gauge)));
         }
       }
       job->flowlets.push_back(std::move(fs));

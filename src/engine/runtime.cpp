@@ -43,13 +43,20 @@ Duration backoff_after(Duration base, Duration cap, uint32_t attempt) {
 // ---------------------------------------------------------------------------
 // TaskContext: the Context implementation handed to flowlet code for the
 // duration of one task. Buffers emissions into per-(edge, destination) bin
-// builders, flushing full bins immediately and the rest at task end.
+// builders - a dense vector indexed by edge * num_nodes + dst, one
+// allocation per task instead of a map node per stream - flushing full bins
+// immediately and the rest at task end.
 // ---------------------------------------------------------------------------
 class TaskContext : public Context {
  public:
   TaskContext(NodeRuntime* rt, internal::JobState* job, FlowletId fid,
               bool allow_emit = true)
-      : rt_(rt), job_(job), fid_(fid), allow_emit_(allow_emit) {}
+      : rt_(rt),
+        job_(job),
+        fid_(fid),
+        allow_emit_(allow_emit),
+        nodes_(rt->engine_->cluster().size()),
+        builders_(job->graph->num_edges() * nodes_) {}
 
   ~TaskContext() override { flush_all(); }
 
@@ -91,8 +98,8 @@ class TaskContext : public Context {
   }
 
   void flush_all() {
-    for (auto& [key, builder] : builders_) {
-      flush_builder(key.second, builder);
+    for (size_t slot = 0; slot < builders_.size(); ++slot) {
+      flush_builder(static_cast<NodeId>(slot % nodes_), builders_[slot]);
     }
     charge_combine_gates();
   }
@@ -112,19 +119,20 @@ class TaskContext : public Context {
 
   void add_record(EdgeId edge, NodeId dst, std::string_view key,
                   std::string_view value) {
-    auto [it, inserted] = builders_.try_emplace({edge, dst}, job_->epoch, edge);
-    it->second.add(key, value);
-    rt_->metrics().counter("engine.records")->inc();
-    if (it->second.payload_bytes() >= rt_->config_.bin_size_bytes) {
-      flush_builder(dst, it->second);
+    BinBuilder& builder = builders_[static_cast<size_t>(edge) * nodes_ + dst];
+    if (!builder.is_open()) builder.open(job_->epoch, edge);
+    builder.add(key, value);
+    rt_->records_c_->inc();
+    if (builder.payload_bytes() >= rt_->config_.bin_size_bytes) {
+      flush_builder(dst, builder);
     }
   }
 
   void flush_builder(NodeId dst, BinBuilder& builder) {
     if (builder.empty()) return;
-    std::string bin = builder.take();
-    rt_->metrics().counter("engine.bins")->inc();
-    rt_->metrics().counter("engine.bin_bytes")->add(bin.size());
+    std::string bin = builder.take(&rt_->pool_);
+    rt_->bins_c_->inc();
+    rt_->bin_bytes_c_->add(bin.size());
     rt_->enqueue_out(dst, net::msg_type::kEngineBin, std::move(bin));
   }
 
@@ -145,12 +153,16 @@ class TaskContext : public Context {
     bool overflow = false;
     {
       std::lock_guard<std::mutex> lock(stripe.mu);
-      std::string& acc = stripe.acc[std::string(key)];
+      // Heterogeneous probe: the record's string_view goes straight into the
+      // flat table, no per-fold std::string key.
+      std::string& acc = stripe.acc.find_or_insert(key);
       dst_flowlet->fold(key, value, acc);
       overflow = stripe.acc.size() > kCombineStripeKeys;
     }
-    rt_->metrics().counter("engine.combine_folds")->inc();
-    combine_gate_debt_[{edge.id, si}] += 1;
+    rt_->combine_folds_c_->inc();
+    // Debt is keyed by the gate pointer itself, so the batch charge at task
+    // end does not re-resolve graph edge -> table -> stripe per entry.
+    combine_gate_debt_[stripe.gate.get()] += 1;
     if (overflow) {
       charge_combine_gates();
       rt_->flush_combine_stripe(*job_, edge.id, si);
@@ -158,11 +170,7 @@ class TaskContext : public Context {
   }
 
   void charge_combine_gates() {
-    for (auto& [key, count] : combine_gate_debt_) {
-      internal::FlowletState& src_state =
-          *job_->flowlets[job_->graph->edge(key.first).src];
-      src_state.combine_tables.at(key.first)->stripes[key.second].gate->charge(count);
-    }
+    for (auto& [gate, count] : combine_gate_debt_) gate->charge(count);
     combine_gate_debt_.clear();
   }
 
@@ -172,8 +180,9 @@ class TaskContext : public Context {
   internal::JobState* job_;
   FlowletId fid_;
   bool allow_emit_;
-  std::map<std::pair<EdgeId, NodeId>, BinBuilder> builders_;
-  std::map<std::pair<EdgeId, uint32_t>, uint64_t> combine_gate_debt_;
+  uint32_t nodes_;
+  std::vector<BinBuilder> builders_;  // indexed by edge * nodes_ + dst
+  std::map<RateGate*, uint64_t> combine_gate_debt_;
 };
 
 // ---------------------------------------------------------------------------
@@ -182,7 +191,11 @@ class TaskContext : public Context {
 
 NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
                          const EngineConfig& config)
-    : engine_(engine), node_(node), config_(config) {
+    : engine_(engine),
+      node_(node),
+      config_(config),
+      sched_(engine->cluster().config().threads_per_node,
+             config.bin_queue_bytes) {
   node_->router().register_type(
       net::msg_type::kEngineBin,
       [this](net::Message&& m) { on_bin_message(std::move(m)); });
@@ -201,21 +214,37 @@ NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
   recv_channels_.resize(engine_->cluster().size());
   frames_sent_c_ = metrics().counter("engine.frames_sent");
   frames_recv_c_ = metrics().counter("engine.frames_recv");
-  bin_queue_depth_g_ = metrics().gauge("engine.bin_queue_depth");
-  bin_queue_bytes_g_ = metrics().gauge("engine.bin_queue_bytes");
+  records_c_ = metrics().counter("engine.records");
+  bins_c_ = metrics().counter("engine.bins");
+  bin_bytes_c_ = metrics().counter("engine.bin_bytes");
+  combine_folds_c_ = metrics().counter("engine.combine_folds");
+  folds_c_ = metrics().counter("engine.folds");
+  stalls_c_ = metrics().counter("engine.stalls");
+  stall_ns_c_ = metrics().counter("engine.stall_ns");
+  task_retries_c_ = metrics().counter("engine.task_retries");
+  stall_us_h_ = metrics().histogram("engine.stall_us");
   task_us_h_ = metrics().histogram("engine.task_us");
-  const uint32_t workers = engine_->cluster().config().threads_per_node;
+  arena_bytes_g_ = metrics().gauge("engine.arena_bytes");
+  ShardedScheduler::Hooks hooks;
+  hooks.steals = metrics().counter("engine.sched_steal");
+  hooks.lock_wait_ns = metrics().counter("engine.sched_lock_wait_ns");
+  hooks.budget_wait_ns = metrics().counter("engine.bin_queue_wait_ns");
+  hooks.depth = metrics().gauge("engine.bin_queue_depth");
+  hooks.bytes = metrics().gauge("engine.bin_queue_bytes");
+  sched_.set_hooks(hooks);
+  pool_.set_metrics(metrics().counter("engine.pool_hits"),
+                    metrics().counter("engine.pool_misses"));
+  const uint32_t workers = sched_.workers();
   workers_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
   sender_ = std::thread([this] { sender_loop(); });
 }
 
 NodeRuntime::~NodeRuntime() {
   stopping_.store(true);
-  sched_cv_.notify_all();
-  sched_space_.notify_all();
+  sched_.stop();
   out_cv_.notify_all();
   // Under fault plans the transport can still hold delayed duplicates or
   // resends after the job completes; unregistering blocks until in-flight
@@ -296,7 +325,7 @@ void NodeRuntime::on_bin_message(net::Message&& msg) {
   QueueItem item;
   item.src = msg.src;
   item.payload = std::move(msg.payload);
-  enqueue_item(std::move(item));
+  sched_.push_bin(std::move(item));
 }
 
 void NodeRuntime::on_control_message(net::Message&& msg) {
@@ -304,7 +333,7 @@ void NodeRuntime::on_control_message(net::Message&& msg) {
   item.is_control = true;
   item.src = msg.src;
   item.payload = std::move(msg.payload);
-  enqueue_item(std::move(item));
+  sched_.push_bin(std::move(item));
 }
 
 // Reliable channel ingress: unwrap the frame, suppress duplicates, stash
@@ -388,6 +417,9 @@ void NodeRuntime::on_ack_message(net::Message&& msg) {
     std::lock_guard<std::mutex> lock(ch.mu);
     for (auto it = ch.unacked.begin(); it != ch.unacked.end() && it->first < cum;
          it = ch.unacked.erase(it)) {
+      // The retransmission copy's capacity goes back to the pool; the next
+      // frame (or bin) builds into it instead of allocating.
+      pool_.release(std::move(it->second.frame));
       ++erased;
     }
   }
@@ -396,102 +428,101 @@ void NodeRuntime::on_ack_message(net::Message&& msg) {
   }
 }
 
-void NodeRuntime::enqueue_item(QueueItem&& item) {
-  const uint64_t bytes = item.payload.size();
-  const TimePoint t0 = now();
-  {
-    std::unique_lock<std::mutex> lock(sched_mu_);
-    // Receiver-side backpressure: the delivery thread (our only caller)
-    // blocks when the queue is over budget, which in turn fills the
-    // transport ingress and stalls remote senders. Control items ride the
-    // same queue to preserve per-sender FIFO.
-    sched_space_.wait(lock, [&] {
-      return stopping_.load() || bin_queue_bytes_ < config_.bin_queue_bytes;
-    });
-    if (stopping_.load()) return;
-    bin_queue_bytes_ += bytes;
-    bin_queue_.push_back(std::move(item));
-    bin_queue_depth_g_->set(static_cast<int64_t>(bin_queue_.size()));
-    bin_queue_bytes_g_->set(static_cast<int64_t>(bin_queue_bytes_));
-  }
-  const Duration waited = now() - t0;
-  if (waited >= micros(100)) {
-    // The delivery thread actually blocked on the queue budget: receiver-side
-    // backpressure in action, worth surfacing.
-    metrics().counter("engine.bin_queue_wait_ns")
-        ->add(static_cast<uint64_t>(waited.count()));
-  }
-  sched_cv_.notify_one();
-}
-
 // --- scheduler ---------------------------------------------------------------
 
 void NodeRuntime::submit_task(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(sched_mu_);
-    task_queue_.push_back(std::move(task));
-  }
-  sched_cv_.notify_one();
+  sched_.push_task(std::move(task));
 }
 
 void NodeRuntime::defer_task(FlowletId flowlet, int64_t tag,
                              std::function<void()> task) {
   // Paper §2: a flow-controlled task "stops the current execution
-  // immediately and will be scheduled in a later time". Re-queue it and let
-  // this worker nap briefly so the outbox can drain.
-  metrics().counter("engine.stalls")->inc();
+  // immediately and will be scheduled in a later time". Park it on the
+  // deadline queue - the worker goes straight back to the scheduler instead
+  // of napping, and the sender loop re-submits the task once the retry
+  // deadline passes (by which point the outbox it was waiting on has had
+  // time to drain).
+  stalls_c_->inc();
   log_event(obs::EventKind::kStallBegin, flowlet, tag);
-  const TimePoint t0 = now();
-  {
-    obs::TraceSpan span("flow.stall", "engine.flow", node_id(), flowlet, tag);
-    std::this_thread::sleep_for(config_.defer_retry);
-  }
-  const Duration stalled = now() - t0;
-  metrics().counter("engine.stall_ns")->add(
-      static_cast<uint64_t>(stalled.count()));
-  metrics().histogram("engine.stall_us")->observe(
-      static_cast<uint64_t>(stalled.count() / 1000));
-  // StallEnd is logged before the task is re-queued, so in every legal log
-  // each stall interval of a (flowlet, tag) task closes before that task can
-  // run again.
-  log_event(obs::EventKind::kStallEnd, flowlet, tag);
-  submit_task(std::move(task));
+  DeferredTask d;
+  d.stall = true;
+  d.flowlet = flowlet;
+  d.tag = tag;
+  d.begin = now();
+  d.task = std::move(task);
+  schedule_deferred(d.begin + config_.defer_retry, std::move(d));
 }
 
-void NodeRuntime::worker_loop() {
-  for (;;) {
-    QueueItem item;
-    std::function<void()> task;
-    bool have_item = false;
-    {
-      std::unique_lock<std::mutex> lock(sched_mu_);
-      sched_cv_.wait(lock, [&] {
-        return stopping_.load() || !bin_queue_.empty() || !task_queue_.empty();
-      });
-      if (stopping_.load() && bin_queue_.empty() && task_queue_.empty()) return;
-      // Bins first: draining received data keeps upstream nodes unblocked.
-      if (!bin_queue_.empty()) {
-        item = std::move(bin_queue_.front());
-        bin_queue_.pop_front();
-        bin_queue_bytes_ -= item.payload.size();
-        bin_queue_depth_g_->set(static_cast<int64_t>(bin_queue_.size()));
-        bin_queue_bytes_g_->set(static_cast<int64_t>(bin_queue_bytes_));
-        sched_space_.notify_one();
-        have_item = true;
+void NodeRuntime::schedule_deferred(TimePoint due, DeferredTask&& d) {
+  {
+    std::lock_guard<std::mutex> lock(defer_mu_);
+    deferred_.emplace(due, std::move(d));
+  }
+  // Wake the sender (never while holding defer_mu_: the sender nests
+  // defer_mu_ inside out_mu_) so it recomputes its wait deadline.
+  {
+    std::lock_guard<std::mutex> lock(out_mu_);
+  }
+  out_cv_.notify_one();
+}
+
+TimePoint NodeRuntime::next_deferred_deadline() {
+  std::lock_guard<std::mutex> lock(defer_mu_);
+  return deferred_.empty() ? TimePoint::max() : deferred_.begin()->first;
+}
+
+void NodeRuntime::drain_due_deferred() {
+  const TimePoint t = now();
+  std::vector<DeferredTask> due;
+  {
+    std::lock_guard<std::mutex> lock(defer_mu_);
+    auto it = deferred_.begin();
+    while (it != deferred_.end() && it->first <= t) {
+      due.push_back(std::move(it->second));
+      it = deferred_.erase(it);
+    }
+  }
+  for (DeferredTask& d : due) {
+    if (d.stall) {
+      const Duration stalled = t - d.begin;
+      stall_ns_c_->add(static_cast<uint64_t>(stalled.count()));
+      stall_us_h_->observe(static_cast<uint64_t>(stalled.count() / 1000));
+      obs::trace().record_span("flow.stall", "engine.flow", node_id(),
+                               d.flowlet, d.tag, d.begin, t);
+      // StallEnd is logged before the task is re-queued, so in every legal
+      // log each stall interval of a (flowlet, tag) task closes before that
+      // task can run again.
+      log_event(obs::EventKind::kStallEnd, d.flowlet, d.tag);
+    }
+    submit_task(std::move(d.task));
+  }
+}
+
+void NodeRuntime::worker_loop(uint32_t self) {
+  // Batched pop: one shard-lock acquisition covers a run of items, and the
+  // batch is in-order from one shard, so per-sender FIFO survives. 32 bins
+  // of backlog per wakeup amortizes the scheduler's per-item costs without
+  // holding work hostage from thieves for long.
+  constexpr size_t kBatch = 32;
+  std::vector<ShardedScheduler::Work> batch;
+  batch.reserve(kBatch);
+  while (sched_.next_batch(self, &batch, kBatch) > 0) {
+    for (ShardedScheduler::Work& work : batch) {
+      if (work.is_item) {
+        if (work.item.is_control) {
+          process_control(work.item);
+        } else {
+          process_bin(work.item);
+        }
+        // Recycle the payload buffer (retry paths copied what they needed).
+        pool_.release(std::move(work.item.payload));
+        work.item.payload.clear();
       } else {
-        task = std::move(task_queue_.front());
-        task_queue_.pop_front();
+        work.task();
+        work.task = nullptr;  // release captures before the next blocking pop
       }
     }
-    if (have_item) {
-      if (item.is_control) {
-        process_control(item);
-      } else {
-        process_bin(item);
-      }
-    } else {
-      task();
-    }
+    batch.clear();
   }
 }
 
@@ -600,13 +631,14 @@ void NodeRuntime::run_split_chunk(FlowletId loader, const InputSplit& split,
   // reloads exactly the same chunk - loaders are pure functions of the
   // cursor.
   if (should_crash_task(loader, attempt)) {
-    metrics().counter("engine.task_retries")->inc();
+    task_retries_c_->inc();
     log_event(obs::EventKind::kTaskRetry, loader, attempt + 1);
-    const Duration nap = retry_backoff(attempt);
-    submit_task([this, loader, split, cursor, attempt, nap] {
-      std::this_thread::sleep_for(nap);
+    // The backoff waits on the deferred queue, not on this worker thread.
+    DeferredTask d;
+    d.task = [this, loader, split, cursor, attempt] {
       run_split_chunk(loader, split, cursor, attempt + 1);
-    });
+    };
+    schedule_deferred(now() + retry_backoff(attempt), std::move(d));
     return;
   }
 
@@ -651,7 +683,8 @@ void NodeRuntime::fold_partial_bin(internal::FlowletState& fs, BinView& bin) {
     internal::PartialTable::Stripe& stripe = table.stripes[si];
     {
       std::lock_guard<std::mutex> lock(stripe.mu);
-      std::string& acc = stripe.acc[std::string(record.key)];
+      // Heterogeneous probe: no std::string key materialized per fold.
+      std::string& acc = stripe.acc.find_or_insert(record.key);
       pr->fold(record.key, record.value, acc);
     }
     ++per_stripe[si];
@@ -662,7 +695,7 @@ void NodeRuntime::fold_partial_bin(internal::FlowletState& fs, BinView& bin) {
     folds += per_stripe[si];
     table.stripes[si].gate->charge(per_stripe[si]);
   }
-  metrics().counter("engine.folds")->add(folds);
+  folds_c_->add(folds);
 }
 
 // --- reduce staging / firing ---------------------------------------------
@@ -674,11 +707,24 @@ void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs
     const uint32_t si = stage_of(record.key, config_.reduce_subpartitions);
     internal::ReduceStage& stage = *fs.stages[si];
     uint64_t spill_bytes = 0;
-    std::vector<std::pair<std::string, std::string>> to_spill;
+    Arena spill_arena;
+    std::vector<internal::ReduceStage::Rec> to_spill;
     std::string spill_file;
     {
       std::lock_guard<std::mutex> lock(stage.mu);
-      stage.records.emplace_back(std::string(record.key), std::string(record.value));
+      // One arena bump holds key and value contiguously; the index entry
+      // caches an 8-byte key prefix so the pre-reduce sort is mostly
+      // integer compares.
+      char* data = stage.arena.alloc(record.key.size() + record.value.size());
+      std::memcpy(data, record.key.data(), record.key.size());
+      std::memcpy(data + record.key.size(), record.value.data(),
+                  record.value.size());
+      internal::ReduceStage::Rec rec;
+      rec.prefix = internal::key_prefix(record.key);
+      rec.key_len = static_cast<uint32_t>(record.key.size());
+      rec.value_len = static_cast<uint32_t>(record.value.size());
+      rec.data = data;
+      stage.index.push_back(rec);
       const uint64_t rec_bytes = record.key.size() + record.value.size() + 16;
       stage.bytes += rec_bytes;
       staged_bytes_.fetch_add(rec_bytes);
@@ -686,8 +732,11 @@ void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs
           config_.memory_budget_bytes / (4ull * std::max(1u, config_.reduce_subpartitions));
       if (staged_bytes_.load() > config_.memory_budget_bytes &&
           stage.bytes >= min_spill) {
-        // Spill this stage: move its records out and write a sorted run.
-        to_spill.swap(stage.records);
+        // Spill this stage: move its arena + index out wholesale and re-arm
+        // an empty arena (the gauge charge moves with the old one).
+        spill_arena = std::move(stage.arena);
+        stage.arena = Arena(arena_bytes_g_);
+        to_spill.swap(stage.index);
         spill_bytes = stage.bytes;
         stage.bytes = 0;
         spill_file = spill_path(flowlet, si, stage.next_spill++);
@@ -699,9 +748,11 @@ void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs
       obs::TraceSpan span("spill.write", "engine.spill", node_id(), flowlet,
                           static_cast<int64_t>(spill_bytes));
       std::stable_sort(to_spill.begin(), to_spill.end(),
-                       [](const auto& a, const auto& b) { return a.first < b.first; });
+                       internal::reduce_rec_less);
       storage::RunWriter writer(&node_->store(), spill_file);
-      for (const auto& [k, v] : to_spill) writer.add(k, v);
+      for (const internal::ReduceStage::Rec& r : to_spill) {
+        writer.add(r.key(), r.value());
+      }
       write_spill_with_retry(writer);
       log_event(obs::EventKind::kSpill, flowlet,
                 static_cast<int64_t>(spill_bytes));
@@ -728,13 +779,13 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
   // intact (they are only consumed below), so the retry re-merges the same
   // inputs and emits identical output.
   if (should_crash_task(flowlet, attempt)) {
-    metrics().counter("engine.task_retries")->inc();
+    task_retries_c_->inc();
     log_event(obs::EventKind::kTaskRetry, flowlet, attempt + 1);
-    const Duration nap = retry_backoff(attempt);
-    submit_task([this, flowlet, stage_index, attempt, nap] {
-      std::this_thread::sleep_for(nap);
+    DeferredTask d;
+    d.task = [this, flowlet, stage_index, attempt] {
       run_reduce_stage(flowlet, stage_index, attempt + 1);
-    });
+    };
+    schedule_deferred(now() + retry_backoff(attempt), std::move(d));
     return;
   }
 
@@ -748,9 +799,10 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
                              static_cast<int64_t>(stage_index));
 
   // No staging lock needed: every bin was staged (upstream complete) before
-  // the reduce fires.
-  std::stable_sort(stage.records.begin(), stage.records.end(),
-                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  // the reduce fires. Stable: same-key records keep arrival order, and the
+  // cached prefixes make most comparisons a single integer compare.
+  std::stable_sort(stage.index.begin(), stage.index.end(),
+                   internal::reduce_rec_less);
 
   {
     TaskContext ctx(this, job.get(), flowlet);
@@ -775,9 +827,10 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
     auto advance = [&](Source& s) {
       if (s.reader) {
         s.done = !s.reader->next(&s.key, &s.value);
-      } else if (s.mem_pos < stage.records.size()) {
-        s.key = stage.records[s.mem_pos].first;
-        s.value = stage.records[s.mem_pos].second;
+      } else if (s.mem_pos < stage.index.size()) {
+        const internal::ReduceStage::Rec& r = stage.index[s.mem_pos];
+        s.key = r.key();
+        s.value = r.value();
         ++s.mem_pos;
       } else {
         s.done = true;
@@ -814,11 +867,13 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
     flush_group();
   }
 
-  // Release staged memory.
+  // Release staged memory (the arena drops its chunks wholesale and
+  // un-charges engine.arena_bytes).
   staged_bytes_.fetch_sub(stage.bytes);
   stage.bytes = 0;
-  stage.records.clear();
-  stage.records.shrink_to_fit();
+  stage.index.clear();
+  stage.index.shrink_to_fit();
+  stage.arena.clear();
   for (const std::string& path : stage.spill_paths) {
     (void)node_->store().remove(path);
   }
@@ -868,7 +923,7 @@ void NodeRuntime::run_finish(FlowletId flowlet) {
       auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
       for (auto& stripe : fs.table->stripes) {
         std::lock_guard<std::mutex> lock(stripe.mu);
-        for (auto& [key, acc] : stripe.acc) pr->emit_result(key, acc, ctx);
+        for (auto& e : stripe.acc.entries()) pr->emit_result(e.key, e.acc, ctx);
         stripe.acc.clear();
       }
     }
@@ -895,28 +950,35 @@ void NodeRuntime::flush_combine_stripe(internal::JobState& job, EdgeId edge_id,
   internal::PartialTable::Stripe& stripe =
       job.flowlets[edge.src]->combine_tables.at(edge_id)->stripes[stripe_index];
 
-  std::unordered_map<std::string, std::string> drained;
+  // Move the whole table out under the lock (entries, slots, and the key
+  // arena with its gauge charge travel together) and re-arm an empty one.
+  FlatAccTable drained;
   {
     std::lock_guard<std::mutex> lock(stripe.mu);
-    drained.swap(stripe.acc);
+    if (stripe.acc.empty()) return;
+    drained = std::move(stripe.acc);
+    stripe.acc = FlatAccTable(arena_bytes_g_);
   }
-  if (drained.empty()) return;
 
-  std::map<NodeId, BinBuilder> builders;
+  // Dense per-destination builders (one vector, no map nodes), pooled output
+  // buffers.
+  const uint32_t nodes = engine_->cluster().size();
+  std::vector<BinBuilder> builders(nodes);
   auto send = [&](NodeId dst, BinBuilder& builder) {
-    std::string bin = builder.take();
-    metrics().counter("engine.bins")->inc();
-    metrics().counter("engine.bin_bytes")->add(bin.size());
+    std::string bin = builder.take(&pool_);
+    bins_c_->inc();
+    bin_bytes_c_->add(bin.size());
     enqueue_out(dst, net::msg_type::kEngineBin, std::move(bin));
   };
-  for (const auto& [key, acc] : drained) {
-    const NodeId dst = partition_of(key, engine_->cluster().size());
-    auto [it, inserted] = builders.try_emplace(dst, job.epoch, edge_id);
-    it->second.add(key, acc);
-    if (it->second.payload_bytes() >= config_.bin_size_bytes) send(dst, it->second);
+  for (const auto& e : drained.entries()) {
+    const NodeId dst = partition_of(e.key, nodes);
+    BinBuilder& builder = builders[dst];
+    if (!builder.is_open()) builder.open(job.epoch, edge_id);
+    builder.add(e.key, e.acc);
+    if (builder.payload_bytes() >= config_.bin_size_bytes) send(dst, builder);
   }
-  for (auto& [dst, builder] : builders) {
-    if (!builder.empty()) send(dst, builder);
+  for (NodeId dst = 0; dst < nodes; ++dst) {
+    if (!builders[dst].empty()) send(dst, builders[dst]);
   }
 }
 
@@ -960,12 +1022,13 @@ void NodeRuntime::flush_window(FlowletId flowlet) {
   auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
   TaskContext ctx(this, job.get(), flowlet);
   for (auto& stripe : fs.table->stripes) {
-    std::unordered_map<std::string, std::string> drained;
+    FlatAccTable drained;
     {
       std::lock_guard<std::mutex> lock(stripe.mu);
-      drained.swap(stripe.acc);
+      drained = std::move(stripe.acc);
+      stripe.acc = FlatAccTable(arena_bytes_g_);
     }
-    for (auto& [key, acc] : drained) pr->emit_result(key, acc, ctx);
+    for (auto& e : drained.entries()) pr->emit_result(e.key, e.acc, ctx);
   }
 }
 
@@ -996,25 +1059,21 @@ Duration NodeRuntime::retry_backoff(uint32_t attempt) const {
 }
 
 void NodeRuntime::retry_bin(const QueueItem& item) {
-  metrics().counter("engine.task_retries")->inc();
+  task_retries_c_->inc();
   const Duration nap = retry_backoff(item.attempts);
   metrics().histogram("engine.retry_backoff_us")->observe(
       static_cast<uint64_t>(nap.count() / 1000));
   QueueItem copy = item;
   ++copy.attempts;
-  // Re-enqueue through a task so the bin queue is never wedged by a crashing
-  // bin: the worker naps the (bounded) backoff, then pushes the bin back
-  // WITHOUT the capacity wait - blocking here could deadlock against the
-  // delivery thread, and the item's bytes were budgeted before the pop.
-  submit_task([this, item = std::move(copy), nap]() mutable {
-    std::this_thread::sleep_for(nap);
-    {
-      std::lock_guard<std::mutex> lock(sched_mu_);
-      bin_queue_bytes_ += item.payload.size();
-      bin_queue_.push_back(std::move(item));
-    }
-    sched_cv_.notify_one();
-  });
+  // Park the bin on the deferred queue for the (bounded) backoff - no worker
+  // naps - then push it back WITHOUT the capacity wait: blocking there could
+  // deadlock against the delivery thread, and the item's bytes re-enter the
+  // shared budget via the forced push.
+  DeferredTask d;
+  d.task = [this, item = std::move(copy)]() mutable {
+    sched_.push_bin(std::move(item), /*force=*/true);
+  };
+  schedule_deferred(now() + nap, std::move(d));
 }
 
 void NodeRuntime::write_spill_with_retry(storage::RunWriter& writer) {
@@ -1064,7 +1123,8 @@ void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) 
       w.put_varint(type);
       w.put_bytes(payload);
       SendChannel::Unacked& u = ch.unacked[seq];
-      u.frame = std::string(buf.view());
+      u.frame = pool_.acquire();
+      u.frame.append(buf.view());
       // Armed for real by the sender thread once the frame leaves the node;
       // until then the frame is in our own outbox and cannot be "lost".
       u.next_resend = TimePoint::max();
@@ -1101,9 +1161,11 @@ void NodeRuntime::raw_enqueue_out(uint32_t dst, uint32_t type, std::string paylo
 }
 
 void NodeRuntime::sender_loop() {
-  // With the reliable layer on, the sender doubles as the retransmission
-  // timer: it wakes periodically even with an empty outbox and re-pushes any
-  // unacked frames whose resend deadline has passed.
+  // The sender is the node's timer thread as well as its egress drain: with
+  // the reliable layer on it wakes periodically to re-push unacked frames,
+  // and in all modes it wakes at the earliest deferred-task deadline to move
+  // parked tasks (flow-control stalls, crash-retry backoffs) back onto the
+  // scheduler - no worker thread ever sleeps a backoff away.
   const bool rel = reliable();
   TimePoint next_check = now() + resend_check_every();
   for (;;) {
@@ -1111,12 +1173,16 @@ void NodeRuntime::sender_loop() {
     bool have = false;
     {
       std::unique_lock<std::mutex> lock(out_mu_);
-      if (rel) {
-        out_cv_.wait_until(lock, next_check, [&] {
-          return stopping_.load() || !outbox_.empty();
-        });
-      } else {
-        out_cv_.wait(lock, [&] { return stopping_.load() || !outbox_.empty(); });
+      while (!stopping_.load() && outbox_.empty()) {
+        // Lock order: out_mu_ then defer_mu_ (schedule_deferred releases
+        // defer_mu_ before notifying out_cv_, so there is no inversion).
+        TimePoint wake = next_deferred_deadline();
+        if (rel) wake = std::min(wake, next_check);
+        if (wake == TimePoint::max()) {
+          out_cv_.wait(lock);
+        } else if (out_cv_.wait_until(lock, wake) == std::cv_status::timeout) {
+          break;
+        }
       }
       if (stopping_.load() && outbox_.empty()) return;
       if (!outbox_.empty()) {
@@ -1125,6 +1191,7 @@ void NodeRuntime::sender_loop() {
         have = true;
       }
     }
+    drain_due_deferred();
     if (have) {
       const uint64_t size = msg.payload.size();
       uint64_t frame_seq = 0;

@@ -40,14 +40,17 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/arena.h"
 #include "common/metrics.h"
+#include "common/pool.h"
 #include "engine/config.h"
+#include "engine/flat_table.h"
 #include "engine/graph.h"
 #include "engine/rate_gate.h"
+#include "engine/scheduler.h"
 #include "engine/split.h"
 #include "obs/event_log.h"
 
@@ -62,21 +65,60 @@ class TaskContext;
 
 namespace internal {
 
-// Reduce-input staging for one sub-partition of a node's key range.
+// Big-endian 8-byte key prefix: integer compare of prefixes orders exactly
+// like the lexicographic compare of the first 8 key bytes, so the staging
+// sort only touches key bytes on a prefix tie.
+inline uint64_t key_prefix(std::string_view key) {
+  uint64_t p = 0;
+  const size_t n = key.size() < 8 ? key.size() : 8;
+  for (size_t i = 0; i < n; ++i) {
+    p |= static_cast<uint64_t>(static_cast<uint8_t>(key[i])) << (56 - 8 * i);
+  }
+  return p;
+}
+
+// Reduce-input staging for one sub-partition of a node's key range: record
+// bytes live contiguously in a chunked arena, the index carries views plus a
+// cached key prefix, so staging a record is one arena bump + one index push
+// (the old layout allocated two std::strings per record) and the pre-reduce
+// sort compares 8-byte integers instead of dereferencing two heap strings.
 struct ReduceStage {
+  // One staged record: key bytes at [data, data+key_len), value bytes
+  // immediately after.
+  struct Rec {
+    uint64_t prefix = 0;
+    uint32_t key_len = 0;
+    uint32_t value_len = 0;
+    const char* data = nullptr;
+    std::string_view key() const { return {data, key_len}; }
+    std::string_view value() const { return {data + key_len, value_len}; }
+  };
+
+  explicit ReduceStage(Gauge* arena_gauge) : arena(arena_gauge) {}
+
   std::mutex mu;
-  std::vector<std::pair<std::string, std::string>> records;
+  Arena arena;
+  std::vector<Rec> index;
   uint64_t bytes = 0;
   std::vector<std::string> spill_paths;
   uint64_t next_spill = 0;
 };
 
+// Orders staged records by key (prefix first); stable sorts with it keep
+// same-key values in arrival order, exactly like the old pair-sort.
+inline bool reduce_rec_less(const ReduceStage::Rec& a, const ReduceStage::Rec& b) {
+  if (a.prefix != b.prefix) return a.prefix < b.prefix;
+  return a.key() < b.key();
+}
+
 // Node-shared partial-reduce accumulator table, striped. Each stripe models
-// one contended shared-variable set (see RateGate).
+// one contended shared-variable set (see RateGate). The accumulator map is a
+// flat open-addressing table with arena-backed keys: folding a record probes
+// with the record's string_view directly, no per-fold key allocation.
 struct PartialTable {
   struct Stripe {
     std::mutex mu;
-    std::unordered_map<std::string, std::string> acc;
+    FlatAccTable acc;
     std::unique_ptr<RateGate> gate;
   };
   // deque: stripes are immovable (mutex member) and deque constructs them in
@@ -142,11 +184,15 @@ class NodeRuntime {
   friend class Engine;
   friend class TaskContext;
 
-  struct QueueItem {
-    bool is_control = false;
-    uint32_t src = 0;
-    uint32_t attempts = 0;  // crash-retry count for this bin
-    std::string payload;
+  // A task parked off the worker pool: flow-control stalls and crash-retry
+  // backoffs wait here (deadline-ordered, drained by the sender loop)
+  // instead of sleeping on a worker thread.
+  struct DeferredTask {
+    bool stall = false;  // flow-control stall: log StallEnd + metrics on wake
+    FlowletId flowlet = 0;
+    int64_t tag = 0;
+    TimePoint begin{};
+    std::function<void()> task;
   };
 
   // Reliable shuffle channel state (active when reliable()).
@@ -180,15 +226,20 @@ class NodeRuntime {
   void on_control_message(net::Message&& msg);
   void on_frame_message(net::Message&& msg);  // reliable channel ingress
   void on_ack_message(net::Message&& msg);
-  void enqueue_item(QueueItem&& item);
 
   // --- worker-side processing ---
-  void worker_loop();
+  void worker_loop(uint32_t self);
   void submit_task(std::function<void()> task);
-  // Parks a flow-controlled task and re-queues it. `flowlet` and `tag`
+  // Parks a flow-controlled task on the deferred queue. `flowlet` and `tag`
   // identify the parked task (loaders pass their split cursor) so the event
-  // log can pair each StallBegin with the StallEnd of the *same* task.
+  // log can pair each StallBegin with the StallEnd of the *same* task. The
+  // worker returns to the scheduler immediately; the sender loop re-submits
+  // the task once the retry deadline passes.
   void defer_task(FlowletId flowlet, int64_t tag, std::function<void()> task);
+  // Deadline-ordered parking lot shared by stalls and crash-retry backoffs.
+  void schedule_deferred(TimePoint due, DeferredTask&& d);
+  TimePoint next_deferred_deadline();
+  void drain_due_deferred();
   void process_bin(const QueueItem& item);
   void process_control(const QueueItem& item);
   void run_split_chunk(FlowletId loader, const InputSplit& split, uint64_t cursor,
@@ -241,25 +292,37 @@ class NodeRuntime {
   EngineConfig config_;
 
   // Cached hot-path metric handles (registry pointers are stable for the
-  // node's lifetime, so per-bin paths skip the name lookup).
+  // node's lifetime, so per-record/per-bin paths skip the name lookup).
   Counter* frames_sent_c_ = nullptr;
   Counter* frames_recv_c_ = nullptr;
-  Gauge* bin_queue_depth_g_ = nullptr;
-  Gauge* bin_queue_bytes_g_ = nullptr;
+  Counter* records_c_ = nullptr;
+  Counter* bins_c_ = nullptr;
+  Counter* bin_bytes_c_ = nullptr;
+  Counter* combine_folds_c_ = nullptr;
+  Counter* folds_c_ = nullptr;
+  Counter* stalls_c_ = nullptr;
+  Counter* stall_ns_c_ = nullptr;
+  Counter* task_retries_c_ = nullptr;
+  Histogram* stall_us_h_ = nullptr;
   Histogram* task_us_h_ = nullptr;
+  Gauge* arena_bytes_g_ = nullptr;
 
-  // Scheduler: a FIFO queue of received items (bins + control; per-sender
-  // FIFO order is what the completion protocol relies on) plus a task queue.
-  // The item queue is unbounded here; end-to-end backpressure comes from the
-  // transport ingress cap and the outbox watermark.
-  std::mutex sched_mu_;
-  std::condition_variable sched_cv_;
-  std::condition_variable sched_space_;  // delivery thread waits for room
-  std::deque<QueueItem> bin_queue_;
-  uint64_t bin_queue_bytes_ = 0;
-  std::deque<std::function<void()>> task_queue_;
+  // Scheduler: per-worker sharded deques with work stealing (see
+  // scheduler.h). The delivery thread routes each sender to a fixed shard
+  // (per-sender FIFO dequeue order), idle workers steal before sleeping, and
+  // the receiver byte budget is a shared atomic inside the scheduler.
+  ShardedScheduler sched_;
   std::atomic<bool> stopping_{false};
   std::vector<std::thread> workers_;
+
+  // Payload buffer recycling: bins and frames acquire their output strings
+  // here; processed bins and acked frames return them.
+  BufferPool pool_;
+
+  // Deferred tasks (flow-control stalls, crash-retry backoffs), ordered by
+  // deadline; the sender loop drains due entries back onto the scheduler.
+  std::mutex defer_mu_;
+  std::multimap<TimePoint, DeferredTask> deferred_;
 
   // Egress: unbounded outbox drained by one sender thread; its byte count is
   // the flow-control probe.

@@ -1,0 +1,150 @@
+// ShardedScheduler: per-worker deques with work stealing, replacing the
+// engine's former single sched_mu_/sched_cv_ global queue.
+//
+// Layout: one shard per worker thread, each holding a bin deque and a task
+// deque behind its own mutex. The delivery thread routes every received item
+// of sender s to shard (s mod workers), so one sender's items land in one
+// deque in arrival order and every consumer - owner or thief - pops from the
+// FRONT under the shard lock: dequeue order stays FIFO per sender, which
+// keeps the bin/control arrival accounting honest even though processing
+// overlaps. Tasks are spread round-robin.
+//
+// A worker pops its own shard first (bins before tasks: draining received
+// data keeps upstream nodes unblocked), then tries to steal from the other
+// shards (try_lock only - a contended victim is skipped, not waited on), and
+// only then sleeps. Sleep/wake uses one idle condition variable guarded by a
+// mutex that covers no queue data: pushes bump an atomic pending count and
+// notify, so the enqueue fast path never serializes against workers.
+//
+// The receiver-side byte budget is a shared atomic: the delivery thread
+// blocks in push_bin while the queued bytes exceed the budget (receiver
+// backpressure, exactly as before), and workers wake it when a pop crosses
+// back under. Queue-depth/bytes gauges are written OUTSIDE every lock from
+// the atomics. Steal counts and contended-lock wait time are surfaced as
+// engine.sched_steal / engine.sched_lock_wait_ns.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace hamr::engine {
+
+// One received item: a data bin or a control message, plus the retry count
+// fault recovery stamps on it.
+struct QueueItem {
+  bool is_control = false;
+  uint32_t src = 0;
+  uint32_t attempts = 0;  // crash-retry count for this bin
+  std::string payload;
+};
+
+class ShardedScheduler {
+ public:
+  // Hot-path metric handles, all optional (null = not recorded).
+  struct Hooks {
+    Counter* steals = nullptr;         // engine.sched_steal
+    Counter* lock_wait_ns = nullptr;   // engine.sched_lock_wait_ns
+    Counter* budget_wait_ns = nullptr; // engine.bin_queue_wait_ns
+    Gauge* depth = nullptr;            // engine.bin_queue_depth
+    Gauge* bytes = nullptr;            // engine.bin_queue_bytes
+  };
+
+  // Either a bin/control item or a task, never both.
+  struct Work {
+    bool is_item = false;
+    QueueItem item;
+    std::function<void()> task;
+  };
+
+  ShardedScheduler(uint32_t workers, uint64_t byte_budget);
+
+  ShardedScheduler(const ShardedScheduler&) = delete;
+  ShardedScheduler& operator=(const ShardedScheduler&) = delete;
+
+  void set_hooks(const Hooks& hooks) { hooks_ = hooks; }
+  uint32_t workers() const { return static_cast<uint32_t>(shards_.size()); }
+
+  // Delivery-thread ingress. Blocks while the queued bytes exceed the budget
+  // unless `force` (crash retries re-add bytes they already own; blocking
+  // there could deadlock against the delivery thread). Returns false if the
+  // scheduler stopped while waiting (the item is dropped).
+  bool push_bin(QueueItem&& item, bool force = false);
+
+  // Round-robin task submission (any thread).
+  void push_task(std::function<void()> task);
+
+  // Blocking worker pop for worker `self` (0-based). Returns false when the
+  // scheduler is stopping and every shard has drained.
+  bool next(uint32_t self, Work* out);
+
+  // Batched pop: drains up to `max` units from worker self's own shard under
+  // ONE lock acquisition (one atomics update, one gauge publish, one budget
+  // check for the whole run), falling back to stealing a single unit when the
+  // own shard is empty. The batch is front-popped in order from one shard, so
+  // processing it in order preserves FIFO per sender. Appends to `out`;
+  // returns the number taken, 0 only when stopping and fully drained.
+  size_t next_batch(uint32_t self, std::vector<Work>* out, size_t max);
+
+  // Wakes everything; workers drain remaining work, push_bin waiters return.
+  void stop();
+
+  uint64_t queued_bytes() const {
+    return queued_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t queued_items() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::deque<QueueItem> bins;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  // Pop one unit from a shard whose mutex the caller already holds.
+  bool take_locked(Shard& shard, Work* out);
+  // Flush dequeue accounting for a drained batch (after the shard lock is
+  // dropped): one atomics update, one gauge publish, one budget-cross check.
+  void settle_batch(uint64_t units, uint64_t bins, uint64_t bytes);
+  void publish_gauges();
+
+  // deque: shards are immovable (mutex member), constructed in place.
+  std::deque<Shard> shards_;
+  const uint64_t byte_budget_;
+  Hooks hooks_;
+
+  // Wakes sleeping workers after new work is visible (or on stop).
+  void notify_workers();
+
+  std::atomic<uint64_t> pending_{0};      // bins + tasks across all shards
+  std::atomic<uint64_t> pending_bins_{0};
+  std::atomic<uint64_t> queued_bytes_{0};
+  std::atomic<uint64_t> task_rr_{0};
+  std::atomic<bool> stopping_{false};
+
+  // Sleep/wake for idle workers; guards no queue data. Sleeping is
+  // edge-triggered on wake_seq_: a worker snapshots it, scans every shard,
+  // and sleeps only until the seq moves past its snapshot - so a worker
+  // that saw nothing parks instead of re-scanning (no spin), yet can never
+  // sleep through a push that happened after its snapshot. Pushers skip the
+  // notify entirely while no worker is registered in sleepers_.
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::atomic<uint64_t> wake_seq_{0};
+  std::atomic<uint32_t> sleepers_{0};
+
+  // Budget wait for the delivery thread.
+  std::mutex space_mu_;
+  std::condition_variable space_cv_;
+};
+
+}  // namespace hamr::engine

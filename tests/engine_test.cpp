@@ -727,3 +727,171 @@ TEST(EngineEventLog, FlowControlStallsPauseAndResumeSameTask) {
     EXPECT_TRUE(open.empty()) << "node " << n << " has unclosed stalls";
   }
 }
+
+// --- stealing scheduler ----------------------------------------------------------
+//
+// The same four ordering invariants, rerun with 8 workers per node (the
+// default test envs use 2): per-worker sharded deques with stealing must not
+// reorder any (node, flowlet) event stream the completion protocol depends
+// on. Each scenario repeats to give interleavings a chance to vary; the
+// invariants are schedule-free, so every repetition must hold exactly.
+
+namespace {
+
+constexpr uint32_t kWideWorkers = 8;
+constexpr int kWideRepeats = 3;
+
+struct WideEnv {
+  explicit WideEnv(uint32_t nodes, EngineConfig config = EngineConfig::fast())
+      : cluster(cluster::ClusterConfig::fast(nodes, kWideWorkers)),
+        engine(cluster, config) {}
+
+  cluster::Cluster cluster;
+  Engine engine;
+};
+
+uint64_t total_counter(cluster::Cluster& cluster, const std::string& name) {
+  uint64_t total = 0;
+  for (uint32_t n = 0; n < cluster.size(); ++n) {
+    total += cluster.node(n).metrics().counter(name)->get();
+  }
+  return total;
+}
+
+}  // namespace
+
+TEST(EngineStealing, BinsProcessedBeforeFlowletCompletesAtEightWorkers) {
+  uint64_t steals = 0;
+  for (int rep = 0; rep < kWideRepeats; ++rep) {
+    obs::EventLog log;
+    WideEnv env(4, logged_config(&log));
+    FlowletGraph g;
+    auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+    auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+    g.connect(loader, sink);
+    env.engine.run(g, synthetic_inputs(loader, 4, 200));
+
+    for (uint32_t n = 0; n < 4; ++n) {
+      EXPECT_EQ(log.count(n, sink, obs::EventKind::kBinEnqueued),
+                log.count(n, sink, obs::EventKind::kBinProcessed))
+          << "rep " << rep << " node " << n;
+      uint64_t ready_seq = 0, complete_seq = 0;
+      uint64_t ready_count = 0, complete_count = 0;
+      for (const obs::Event& ev : log.stream(n, sink)) {
+        if (ev.kind == obs::EventKind::kFlowletReady) {
+          ready_seq = ev.seq;
+          ++ready_count;
+        }
+        if (ev.kind == obs::EventKind::kFlowletComplete) {
+          complete_seq = ev.seq;
+          ++complete_count;
+        }
+      }
+      ASSERT_EQ(ready_count, 1u) << "rep " << rep << " node " << n;
+      ASSERT_EQ(complete_count, 1u) << "rep " << rep << " node " << n;
+      EXPECT_LT(ready_seq, complete_seq) << "rep " << rep << " node " << n;
+      for (const obs::Event& ev : log.stream(n, sink)) {
+        if (ev.kind == obs::EventKind::kBinProcessed) {
+          EXPECT_LT(ev.seq, ready_seq) << "rep " << rep << " node " << n;
+        }
+      }
+    }
+    steals += total_counter(env.cluster, "engine.sched_steal");
+  }
+  // With 8 workers and only 4 sender shards populated, idle workers must
+  // have stolen at least once across the repetitions.
+  EXPECT_GT(steals, 0u) << "stealing never engaged at 8 workers";
+}
+
+TEST(EngineStealing, CompletionPropagatesExactlyOnceAtEightWorkers) {
+  for (int rep = 0; rep < kWideRepeats; ++rep) {
+    obs::EventLog log;
+    WideEnv env(3, logged_config(&log));
+    FlowletGraph g;
+    auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+    auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+    g.connect(loader, sink);
+    env.engine.run(g, synthetic_inputs(loader, 3, 50));
+
+    for (uint32_t n = 0; n < 3; ++n) {
+      for (FlowletId f : {loader, sink}) {
+        EXPECT_EQ(log.count(n, f, obs::EventKind::kFlowletReady), 1u)
+            << "rep " << rep << " node " << n << " flowlet " << f;
+        EXPECT_EQ(log.count(n, f, obs::EventKind::kFlowletComplete), 1u)
+            << "rep " << rep << " node " << n << " flowlet " << f;
+        EXPECT_EQ(log.count(n, f, obs::EventKind::kCompleteBroadcast), 1u)
+            << "rep " << rep << " node " << n << " flowlet " << f;
+      }
+    }
+  }
+}
+
+TEST(EngineStealing, ReduceFiresAfterAllUpstreamChannelsCompleteAtEightWorkers) {
+  for (int rep = 0; rep < kWideRepeats; ++rep) {
+    obs::EventLog log;
+    WideEnv env(3, logged_config(&log));
+    FlowletGraph g;
+    auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+    auto red = g.add_reduce("r", [] { return std::make_unique<CollectorReduce>(); });
+    g.connect(loader, red);
+    env.engine.run(g, synthetic_inputs(loader, 3, 100));
+
+    for (uint32_t n = 0; n < 3; ++n) {
+      const auto stream = log.stream(n, red);
+      std::set<int64_t> sources;
+      uint64_t last_channel_seq = 0;
+      uint64_t ready_seq = 0;
+      for (const obs::Event& ev : stream) {
+        if (ev.kind == obs::EventKind::kChannelComplete) {
+          sources.insert(ev.aux);
+          last_channel_seq = std::max(last_channel_seq, ev.seq);
+        }
+        if (ev.kind == obs::EventKind::kFlowletReady) ready_seq = ev.seq;
+      }
+      EXPECT_EQ(sources.size(), 3u) << "rep " << rep << " node " << n;
+      EXPECT_GT(ready_seq, last_channel_seq) << "rep " << rep << " node " << n;
+      for (const obs::Event& ev : stream) {
+        if (ev.kind == obs::EventKind::kReduceStageRun) {
+          EXPECT_GT(ev.seq, ready_seq) << "rep " << rep << " node " << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(EngineStealing, FlowControlStallsPauseAndResumeSameTaskAtEightWorkers) {
+  for (int rep = 0; rep < kWideRepeats; ++rep) {
+    obs::EventLog log;
+    EngineConfig config = logged_config(&log);
+    config.flow_control_high_bytes = 2 * 1024;
+    config.bin_size_bytes = 512;
+    WideEnv env(2, config);
+    FlowletGraph g;
+    auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(16); });
+    auto sink = g.add_map("sink", [] { return std::make_unique<CollectorMap>(); });
+    g.connect(loader, sink);
+    const auto result = env.engine.run(g, synthetic_inputs(loader, 2, 3000));
+
+    const uint64_t begins = log.count(obs::EventKind::kStallBegin);
+    ASSERT_GT(begins, 0u) << "rep " << rep << ": watermark too high";
+    EXPECT_EQ(begins, log.count(obs::EventKind::kStallEnd)) << "rep " << rep;
+    EXPECT_EQ(begins, result.flow_control_stalls) << "rep " << rep;
+
+    for (uint32_t n = 0; n < 2; ++n) {
+      std::multiset<int64_t> open;
+      for (const obs::Event& ev : log.stream(n, loader)) {
+        if (ev.kind == obs::EventKind::kStallBegin) {
+          EXPECT_EQ(open.count(ev.aux), 0u)
+              << "rep " << rep << " tag " << ev.aux << " stalled twice";
+          open.insert(ev.aux);
+        } else if (ev.kind == obs::EventKind::kStallEnd) {
+          ASSERT_EQ(open.count(ev.aux), 1u)
+              << "rep " << rep << " StallEnd for tag " << ev.aux
+              << " without open StallBegin";
+          open.erase(ev.aux);
+        }
+      }
+      EXPECT_TRUE(open.empty()) << "rep " << rep << " node " << n;
+    }
+  }
+}

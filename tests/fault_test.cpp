@@ -349,3 +349,33 @@ TEST(Chaos, BackToBackJobsShareTheChannelState) {
   apps::wordcount::run_hamr(chaos.env, staged);
   EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
 }
+
+TEST(Chaos, WordCountSurvivesChaosWithEightWorkerStealing) {
+  // Same byte-identical guarantee with 8 workers per node: the stealing
+  // scheduler's overlapped bin processing must not change recovery semantics
+  // or output. (CI runs this under TSan via the chaos label.)
+  fault::FaultInjector injector(fault::FaultPlan::chaos(/*seed=*/29,
+                                                        /*msg_rate=*/0.05,
+                                                        /*crash_rate=*/0.02));
+  auto env = apps::BenchEnv::make(
+      cluster::ClusterConfig::fast(/*nodes=*/4, /*threads=*/8),
+      ChaosEnv::with_injector(engine::EngineConfig::fast(), &injector));
+  env.cluster->set_fault_injector(&injector);
+
+  gen::TextSpec spec;
+  spec.total_bytes = 96 * 1024;
+  auto shards =
+      make_shards(env.nodes(), [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(env, "wc_chaos8", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  auto info = apps::wordcount::run_hamr(env, staged);
+  EXPECT_EQ(apps::wordcount::hamr_output(env), expected);
+  EXPECT_GT(info.engine_result.faults_injected, 0u);
+  // Stealing actually engaged: 8 workers, 4 sender shards.
+  uint64_t steals = 0;
+  for (uint32_t n = 0; n < env.nodes(); ++n) {
+    steals += env.cluster->node(n).metrics().counter("engine.sched_steal")->get();
+  }
+  EXPECT_GT(steals, 0u);
+}
