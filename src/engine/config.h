@@ -16,6 +16,17 @@ class EventLog;
 namespace hamr::engine {
 
 struct EngineConfig {
+  // Executor lane of this engine instance. Several engines may share one
+  // cluster (the job service runs one per lane): each lane claims its own
+  // shuffle message-type quad (net::msg_type::engine_bin(lane)..), its own
+  // kv RPC id range, and lane-scoped spill paths, so concurrent jobs on
+  // different lanes never cross wires. Must be < net::msg_type::kMaxEngineLanes.
+  uint32_t lane = 0;
+
+  // Worker threads per node runtime. 0 = the cluster's threads_per_node;
+  // the job service sets this to carve a node's task slots across lanes.
+  uint32_t worker_threads = 0;
+
   // Target packed size of a shuffle bin. Bins are the unit of scheduling
   // ("the minimum data required to enable a flowlet", paper §2).
   uint64_t bin_size_bytes = 64 * 1024;

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "fault/fault.h"
+#include "net/message.h"
 
 namespace hamr::engine {
 
@@ -26,7 +27,12 @@ internal::PartialTable* make_table(uint32_t stripes, double gate_rate,
 }  // namespace
 
 Engine::Engine(cluster::Cluster& cluster, EngineConfig config)
-    : cluster_(cluster), config_(config), kv_(cluster) {
+    : cluster_(cluster),
+      config_(config),
+      kv_(cluster, kv::rpc_id::lane_base(config.lane)) {
+  if (config_.lane >= net::msg_type::kMaxEngineLanes) {
+    throw std::invalid_argument("engine lane out of range");
+  }
   runtimes_.reserve(cluster_.size());
   for (uint32_t i = 0; i < cluster_.size(); ++i) {
     runtimes_.push_back(
@@ -48,6 +54,29 @@ JobResult Engine::run_streaming(const FlowletGraph& graph, const JobInputs& inpu
   return run_internal(graph, inputs, duration, window_every);
 }
 
+namespace {
+
+// Releases the single-job slot if run_internal() throws after claiming it
+// (e.g. a null factory): without this a failed run would wedge the engine
+// with job_running_ stuck true.
+class RunGuard {
+ public:
+  RunGuard(std::mutex& mu, bool& running, std::atomic<bool>& cancel)
+      : mu_(mu), running_(running), cancel_(cancel) {}
+  ~RunGuard() {
+    cancel_.store(false, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+
+ private:
+  std::mutex& mu_;
+  bool& running_;
+  std::atomic<bool>& cancel_;
+};
+
+}  // namespace
+
 JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& inputs,
                                Duration stream_duration, Duration window_every) {
   graph.validate();
@@ -56,8 +85,10 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
     if (job_running_) throw std::logic_error("engine runs one job at a time");
     job_running_ = true;
     nodes_done_ = 0;
+    cancel_requested_.store(false, std::memory_order_relaxed);
+    ++epoch_;
   }
-  ++epoch_;
+  RunGuard guard(done_mu_, job_running_, cancel_requested_);
 
   const uint32_t num_nodes = cluster_.size();
 
@@ -158,12 +189,20 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
   // sources to stop; completion cascades exactly as in batch.
   if (stream_duration > Duration::zero()) {
     const TimePoint deadline = now() + stream_duration;
-    while (now() < deadline) {
+    while (now() < deadline && !cancel_requested()) {
       const Duration nap = window_every > Duration::zero()
                                ? std::min(window_every, deadline - now())
                                : deadline - now();
-      std::this_thread::sleep_for(nap);
-      if (now() >= deadline) break;
+      {
+        // Interruptible nap: request_cancel() notifies done_cv_ so a
+        // cancelled streaming job stops its sources promptly instead of
+        // sleeping out the remaining duration.
+        std::unique_lock<std::mutex> lock(done_mu_);
+        done_cv_.wait_for(lock, nap, [&] {
+          return cancel_requested_.load(std::memory_order_relaxed);
+        });
+      }
+      if (now() >= deadline || cancel_requested()) break;
       if (window_every > Duration::zero()) {
         for (uint32_t n = 0; n < num_nodes; ++n) {
           for (FlowletId f = 0; f < graph.num_flowlets(); ++f) {
@@ -177,11 +216,11 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
     for (auto& rt : runtimes_) rt->request_stream_stop();
   }
 
-  // Wait for every node to report all flowlets complete.
+  // Wait for every node to report all flowlets complete. (job_running_ stays
+  // true until the RunGuard releases it on return.)
   {
     std::unique_lock<std::mutex> lock(done_mu_);
     done_cv_.wait(lock, [&] { return nodes_done_ == num_nodes; });
-    job_running_ = false;
   }
 
   obs::MetricsSnapshot after;
@@ -190,6 +229,7 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
   }
 
   JobResult result;
+  result.cancelled = cancel_requested();
   result.wall_seconds = watch.elapsed_seconds();
   result.metrics = after.delta_since(before);
   const obs::MetricsSnapshot& m = result.metrics;
@@ -208,6 +248,18 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
     result.faults_injected = config_.fault_injector->stats().total() - faults_before;
   }
   return result;
+}
+
+void Engine::request_cancel() {
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (!job_running_) return;
+    cancel_requested_.store(true, std::memory_order_relaxed);
+  }
+  // Streaming sources observe stream_stopping(); batch tasks check the
+  // cancel flag at their next boundary.
+  for (auto& rt : runtimes_) rt->request_stream_stop();
+  done_cv_.notify_all();
 }
 
 void Engine::node_job_done(uint32_t node) {

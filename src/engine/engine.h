@@ -5,6 +5,7 @@
 // and runs jobs - batch or streaming - one at a time.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -36,6 +37,11 @@ struct JobResult {
   uint64_t duplicate_frames = 0;   // frames suppressed by seq dedup
   uint64_t faults_injected = 0;    // injector events during this job
 
+  // True when the job was aborted via Engine::request_cancel(): the run
+  // completed the shutdown protocol cleanly but skipped remaining work, so
+  // outputs are partial and must be discarded by the caller.
+  bool cancelled = false;
+
   // Cluster-wide metrics delta for this job: every counter that moved,
   // final gauge levels, and latency histograms - including the per-flowlet
   // task-latency histograms engine.flowlet.<id>.task_us registered at job
@@ -62,6 +68,17 @@ class Engine {
   // each `window_every` until then. Completion then cascades as in batch.
   JobResult run_streaming(const FlowletGraph& graph, const JobInputs& inputs,
                           Duration duration, Duration window_every);
+
+  // Asks the currently running job (if any) to abort: loaders stop, queued
+  // bins are drained without processing, reduce stages are skipped, and the
+  // completion protocol still runs so run() returns promptly with
+  // JobResult::cancelled set. Safe from any thread; a no-op when idle.
+  void request_cancel();
+
+  // True while a cancel is pending for the in-flight job.
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
 
   kv::KvStore& kv() { return kv_; }
   cluster::Cluster& cluster() { return cluster_; }
@@ -92,6 +109,7 @@ class Engine {
   std::condition_variable done_cv_;
   uint32_t nodes_done_ = 0;
   bool job_running_ = false;
+  std::atomic<bool> cancel_requested_{false};
 };
 
 }  // namespace hamr::engine

@@ -133,7 +133,7 @@ class TaskContext : public Context {
     std::string bin = builder.take(&rt_->pool_);
     rt_->bins_c_->inc();
     rt_->bin_bytes_c_->add(bin.size());
-    rt_->enqueue_out(dst, net::msg_type::kEngineBin, std::move(bin));
+    rt_->enqueue_out(dst, rt_->bin_type_, std::move(bin));
   }
 
   // Sender-side combining: fold into the node-shared combine table for this
@@ -194,20 +194,23 @@ NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
     : engine_(engine),
       node_(node),
       config_(config),
-      sched_(engine->cluster().config().threads_per_node,
+      bin_type_(net::msg_type::engine_bin(config.lane)),
+      control_type_(net::msg_type::engine_control(config.lane)),
+      frame_type_(net::msg_type::engine_frame(config.lane)),
+      ack_type_(net::msg_type::engine_ack(config.lane)),
+      sched_(config.worker_threads != 0
+                 ? config.worker_threads
+                 : engine->cluster().config().threads_per_node,
              config.bin_queue_bytes) {
   node_->router().register_type(
-      net::msg_type::kEngineBin,
-      [this](net::Message&& m) { on_bin_message(std::move(m)); });
+      bin_type_, [this](net::Message&& m) { on_bin_message(std::move(m)); });
   node_->router().register_type(
-      net::msg_type::kEngineControl,
+      control_type_,
       [this](net::Message&& m) { on_control_message(std::move(m)); });
   node_->router().register_type(
-      net::msg_type::kEngineFrame,
-      [this](net::Message&& m) { on_frame_message(std::move(m)); });
+      frame_type_, [this](net::Message&& m) { on_frame_message(std::move(m)); });
   node_->router().register_type(
-      net::msg_type::kEngineAck,
-      [this](net::Message&& m) { on_ack_message(std::move(m)); });
+      ack_type_, [this](net::Message&& m) { on_ack_message(std::move(m)); });
   // One reliable channel per peer, even when the reliable layer is off (the
   // structs are tiny and the handlers above are always registered).
   send_channels_.resize(engine_->cluster().size());
@@ -251,15 +254,17 @@ NodeRuntime::~NodeRuntime() {
   // dispatches into this runtime drain (they wake via stopping_ above), and
   // later stragglers are dropped as unroutable instead of hitting freed
   // memory.
-  node_->router().unregister_type(net::msg_type::kEngineBin);
-  node_->router().unregister_type(net::msg_type::kEngineControl);
-  node_->router().unregister_type(net::msg_type::kEngineFrame);
-  node_->router().unregister_type(net::msg_type::kEngineAck);
+  node_->router().unregister_type(bin_type_);
+  node_->router().unregister_type(control_type_);
+  node_->router().unregister_type(frame_type_);
+  node_->router().unregister_type(ack_type_);
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   if (sender_.joinable()) sender_.join();
 }
+
+bool NodeRuntime::job_cancelled() const { return engine_->cancel_requested(); }
 
 void NodeRuntime::attach_job(std::shared_ptr<internal::JobState> job) {
   std::lock_guard<std::mutex> lock(job_mu_);
@@ -386,14 +391,14 @@ void NodeRuntime::on_frame_message(net::Message&& msg) {
   ByteBuffer buf;
   serde::Writer w(buf);
   w.put_varint(ack);
-  raw_enqueue_out(src, net::msg_type::kEngineAck, std::string(buf.view()));
+  raw_enqueue_out(src, ack_type_, std::string(buf.view()));
 
   for (auto& [type, payload] : deliverable) {
     net::Message m;
     m.type = type;
     m.src = src;
     m.payload = std::move(payload);
-    if (type == net::msg_type::kEngineControl) {
+    if (type == control_type_) {
       on_control_message(std::move(m));
     } else {
       on_bin_message(std::move(m));
@@ -534,6 +539,15 @@ void NodeRuntime::process_bin(const QueueItem& item) {
   const GraphEdge& edge = job->graph->edge(view.edge());
   internal::FlowletState& fs = *job->flowlets[edge.dst];
 
+  // Cancelled job: drain the bin without processing it. The completion
+  // bookkeeping below still runs so the shutdown cascade reaches every node.
+  if (job_cancelled()) {
+    log_event(obs::EventKind::kBinProcessed, edge.dst, 0);
+    fs.pending_bins.fetch_sub(1);
+    maybe_schedule_finish(edge.dst);
+    return;
+  }
+
   // Injected task crash: happens at task start, before any emission or state
   // mutation, so a retry redoes the bin cleanly. The retry path keeps the
   // flowlet's pending_bins reference - completion cannot race past a bin
@@ -615,6 +629,16 @@ void NodeRuntime::run_split_chunk(FlowletId loader, const InputSplit& split,
                                   uint64_t cursor, uint32_t attempt) {
   auto job = current_job();
   if (!job) return;
+
+  // Cancelled job: abandon the split. The chunk chain is the split's only
+  // live task, so the completion decrement fires exactly once here.
+  if (job_cancelled()) {
+    internal::FlowletState& cfs = *job->flowlets[loader];
+    if (cfs.splits_outstanding.fetch_sub(1) == 1) {
+      maybe_schedule_finish(loader);
+    }
+    return;
+  }
 
   if (config_.flow_control_enabled && backpressured()) {
     // The split cursor identifies the parked task: the retry resumes exactly
@@ -794,6 +818,24 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
   internal::ReduceStage& stage = *fs.stages[stage_index];
   auto* red = static_cast<ReduceFlowlet*>(fs.instance.get());
 
+  // Cancelled job: skip the sort/merge but still release staged memory,
+  // drop spill runs, and cascade so the completion protocol finishes.
+  if (job_cancelled()) {
+    staged_bytes_.fetch_sub(stage.bytes);
+    stage.bytes = 0;
+    stage.index.clear();
+    stage.index.shrink_to_fit();
+    stage.arena.clear();
+    for (const std::string& path : stage.spill_paths) {
+      (void)node_->store().remove(path);
+    }
+    stage.spill_paths.clear();
+    if (fs.reduce_tasks_outstanding.fetch_sub(1) == 1) {
+      submit_task([this, flowlet] { run_finish(flowlet); });
+    }
+    return;
+  }
+
   const TimePoint reduce_t0 = now();
   obs::TraceSpan reduce_span("task.reduce", "engine.task", node_id(), flowlet,
                              static_cast<int64_t>(stage_index));
@@ -915,7 +957,8 @@ void NodeRuntime::run_finish(FlowletId flowlet) {
   internal::FlowletState& fs = *job->flowlets[flowlet];
   obs::TraceSpan span("task.finish", "engine.task", node_id(), flowlet);
 
-  {
+  const bool cancelled = job_cancelled();
+  if (!cancelled) {
     TaskContext ctx(this, job.get(), flowlet);
     if (fs.kind == FlowletKind::kPartialReduce) {
       // Emit accumulated results before the user finish() hook (paper §2:
@@ -934,7 +977,7 @@ void NodeRuntime::run_finish(FlowletId flowlet) {
   // (after finish() so finish-time emissions are combined too).
   const GraphNode& gnode = job->graph->flowlet(flowlet);
   for (EdgeId eid : gnode.out_edges) {
-    if (!job->graph->edge(eid).options.combine) continue;
+    if (cancelled || !job->graph->edge(eid).options.combine) continue;
     internal::PartialTable& table = *fs.combine_tables.at(eid);
     for (uint32_t si = 0; si < table.stripes.size(); ++si) {
       flush_combine_stripe(*job, eid, si);
@@ -968,7 +1011,7 @@ void NodeRuntime::flush_combine_stripe(internal::JobState& job, EdgeId edge_id,
     std::string bin = builder.take(&pool_);
     bins_c_->inc();
     bin_bytes_c_->add(bin.size());
-    enqueue_out(dst, net::msg_type::kEngineBin, std::move(bin));
+    enqueue_out(dst, bin_type_, std::move(bin));
   };
   for (const auto& e : drained.entries()) {
     const NodeId dst = partition_of(e.key, nodes);
@@ -1005,7 +1048,7 @@ void NodeRuntime::broadcast_complete(FlowletId flowlet) {
             static_cast<int64_t>(engine_->cluster().size()));
   std::string payload(buf.view());
   for (uint32_t n = 0; n < engine_->cluster().size(); ++n) {
-    enqueue_out(n, net::msg_type::kEngineControl, payload);
+    enqueue_out(n, control_type_, payload);
   }
 }
 
@@ -1016,7 +1059,7 @@ void NodeRuntime::flush_window(FlowletId flowlet) {
   if (!job) return;
   internal::FlowletState& fs = *job->flowlets[flowlet];
   if (fs.kind != FlowletKind::kPartialReduce || fs.complete.load() ||
-      fs.finish_scheduled.load()) {
+      fs.finish_scheduled.load() || job_cancelled()) {
     return;
   }
   auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
@@ -1111,8 +1154,7 @@ void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) 
   // cumulative ack passes it. Local traffic is never faulted (the transport
   // guarantees this), so it skips the frame overhead entirely.
   if (reliable() && dst != node_id() &&
-      (type == net::msg_type::kEngineBin ||
-       type == net::msg_type::kEngineControl)) {
+      (type == bin_type_ || type == control_type_)) {
     SendChannel& ch = send_channels_.at(dst);
     ByteBuffer buf;
     serde::Writer w(buf);
@@ -1134,10 +1176,10 @@ void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) 
                                   -1, static_cast<int64_t>(seq));
     }
     metrics().gauge("engine.unacked_frames")->inc();
-    raw_enqueue_out(dst, net::msg_type::kEngineFrame, std::string(buf.view()));
+    raw_enqueue_out(dst, frame_type_, std::string(buf.view()));
     return;
   }
-  if (type == net::msg_type::kEngineBin && dst != node_id()) {
+  if (type == bin_type_ && dst != node_id()) {
     obs::trace().record_instant("shuffle.send", "engine.shuffle", node_id(),
                                 -1, static_cast<int64_t>(payload.size()));
   }
@@ -1151,7 +1193,7 @@ void NodeRuntime::raw_enqueue_out(uint32_t dst, uint32_t type, std::string paylo
     // Acks jump the queue: they are tiny, cumulative (reordering them ahead
     // of data is harmless), and a sender waiting behind megabytes of queued
     // bins would retransmit frames the receiver already holds.
-    if (type == net::msg_type::kEngineAck) {
+    if (type == ack_type_) {
       outbox_.push_front(OutMsg{dst, type, std::move(payload)});
     } else {
       outbox_.push_back(OutMsg{dst, type, std::move(payload)});
@@ -1196,7 +1238,7 @@ void NodeRuntime::sender_loop() {
       const uint64_t size = msg.payload.size();
       uint64_t frame_seq = 0;
       bool is_frame = false;
-      if (rel && msg.type == net::msg_type::kEngineFrame) {
+      if (rel && msg.type == frame_type_) {
         serde::Reader r(msg.payload);
         frame_seq = r.get_varint();
         is_frame = true;
@@ -1275,7 +1317,7 @@ void NodeRuntime::resend_due_frames() {
       obs::trace().record_instant("shuffle.resend", "engine.shuffle",
                                   node_id(), -1,
                                   static_cast<int64_t>(frame.size()));
-      raw_enqueue_out(dst, net::msg_type::kEngineFrame, std::move(frame));
+      raw_enqueue_out(dst, frame_type_, std::move(frame));
     }
   }
 }
@@ -1288,9 +1330,9 @@ bool NodeRuntime::backpressured() const {
 std::string NodeRuntime::spill_path(FlowletId flowlet, uint32_t stage,
                                     uint64_t n) const {
   auto job = current_job();
-  return "engine/spill/e" + std::to_string(job ? job->epoch : 0) + "/f" +
-         std::to_string(flowlet) + "/s" + std::to_string(stage) + "/r" +
-         std::to_string(n);
+  return "engine/spill/l" + std::to_string(config_.lane) + "/e" +
+         std::to_string(job ? job->epoch : 0) + "/f" + std::to_string(flowlet) +
+         "/s" + std::to_string(stage) + "/r" + std::to_string(n);
 }
 
 }  // namespace hamr::engine

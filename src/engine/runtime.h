@@ -287,9 +287,21 @@ class NodeRuntime {
     }
   }
 
+  // True while the engine's in-flight job has a pending cancel; checked at
+  // task boundaries (chunk, bin, reduce stage, finish) so a cancelled job
+  // skips remaining work but still runs the completion protocol.
+  bool job_cancelled() const;
+
   Engine* engine_;
   cluster::Node* node_;
   EngineConfig config_;
+
+  // This engine lane's message-type quad (net::msg_type::engine_*(lane)),
+  // resolved once: every hot-path send/dispatch compares against these.
+  uint32_t bin_type_;
+  uint32_t control_type_;
+  uint32_t frame_type_;
+  uint32_t ack_type_;
 
   // Cached hot-path metric handles (registry pointers are stable for the
   // node's lifetime, so per-record/per-bin paths skip the name lookup).

@@ -35,8 +35,12 @@ FaultPlan FaultPlan::chaos(uint64_t seed, double msg_rate, double crash_rate) {
 
 FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   if (plan_.faultable_types.empty()) {
-    plan_.faultable_types = {net::msg_type::kEngineFrame,
-                             net::msg_type::kEngineAck};
+    // Frames and acks of every executor lane: an injector shared by several
+    // lane engines (the job service's chaos mode) faults them all alike.
+    for (uint32_t lane = 0; lane < net::msg_type::kMaxEngineLanes; ++lane) {
+      plan_.faultable_types.insert(net::msg_type::engine_frame(lane));
+      plan_.faultable_types.insert(net::msg_type::engine_ack(lane));
+    }
   }
 }
 

@@ -119,7 +119,8 @@ std::string pack_kv(std::string_view key, std::string_view value) {
 
 }  // namespace
 
-KvStore::KvStore(cluster::Cluster& cluster) : cluster_(cluster) {
+KvStore::KvStore(cluster::Cluster& cluster, uint32_t rpc_base)
+    : cluster_(cluster), rpc_base_(rpc_base) {
   stores_.reserve(cluster_.size());
   local_ops_.reserve(cluster_.size());
   remote_ops_.reserve(cluster_.size());
@@ -132,29 +133,29 @@ KvStore::KvStore(cluster::Cluster& cluster) : cluster_(cluster) {
     stores_.push_back(std::make_unique<LocalStore>());
     LocalStore* store = stores_.back().get();
     net::Rpc& rpc = cluster_.node(i).rpc();
-    rpc.register_method(rpc_id::kPut, [store](NodeId, std::string_view arg) {
+    rpc.register_method(rpc_base_ + 0, [store](NodeId, std::string_view arg) {
       serde::Reader r(arg);
       const std::string_view key = r.get_bytes();
       store->put(key, arg.substr(r.position()));
       return std::string();
     });
-    rpc.register_method(rpc_id::kGet, [store](NodeId, std::string_view arg) {
+    rpc.register_method(rpc_base_ + 1, [store](NodeId, std::string_view arg) {
       auto result = store->get(arg);
       result.status().ExpectOk();
       return std::move(result).value();
     });
-    rpc.register_method(rpc_id::kAppend, [store](NodeId, std::string_view arg) {
+    rpc.register_method(rpc_base_ + 2, [store](NodeId, std::string_view arg) {
       serde::Reader r(arg);
       const std::string_view key = r.get_bytes();
       store->append(key, arg.substr(r.position()));
       return std::string();
     });
-    rpc.register_method(rpc_id::kGetList, [store](NodeId, std::string_view arg) {
+    rpc.register_method(rpc_base_ + 3, [store](NodeId, std::string_view arg) {
       // Response is the raw packed list; the client decodes.
       auto result = store->get(arg);
       return result.ok() ? std::move(result).value() : std::string();
     });
-    rpc.register_method(rpc_id::kClearNamespace, [store](NodeId, std::string_view arg) {
+    rpc.register_method(rpc_base_ + 4, [store](NodeId, std::string_view arg) {
       store->clear_namespace(arg);
       return std::string();
     });
@@ -173,7 +174,7 @@ void KvStore::put(NodeId from, std::string_view key, std::string_view value) {
     return;
   }
   const TimePoint t0 = now();
-  cluster_.node(from).rpc().call_sync(owner, rpc_id::kPut, pack_kv(key, value))
+  cluster_.node(from).rpc().call_sync(owner, rpc_base_ + 0, pack_kv(key, value))
       .status().ExpectOk();
   remote_us_[from]->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
 }
@@ -184,7 +185,7 @@ Result<std::string> KvStore::get(NodeId from, std::string_view key) {
   if (owner == from) return stores_[owner]->get(key);
   const TimePoint t0 = now();
   auto result =
-      cluster_.node(from).rpc().call_sync(owner, rpc_id::kGet, std::string(key));
+      cluster_.node(from).rpc().call_sync(owner, rpc_base_ + 1, std::string(key));
   remote_us_[from]->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
   return result;
 }
@@ -197,7 +198,7 @@ void KvStore::append(NodeId from, std::string_view key, std::string_view value) 
     return;
   }
   const TimePoint t0 = now();
-  cluster_.node(from).rpc().call_sync(owner, rpc_id::kAppend, pack_kv(key, value))
+  cluster_.node(from).rpc().call_sync(owner, rpc_base_ + 2, pack_kv(key, value))
       .status().ExpectOk();
   remote_us_[from]->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
 }
@@ -207,7 +208,7 @@ std::vector<std::string> KvStore::get_list(NodeId from, std::string_view key) {
   count_op(from, owner == from);
   if (owner == from) return stores_[owner]->get_list(key);
   const TimePoint t0 = now();
-  auto result = cluster_.node(from).rpc().call_sync(owner, rpc_id::kGetList,
+  auto result = cluster_.node(from).rpc().call_sync(owner, rpc_base_ + 3,
                                                     std::string(key));
   remote_us_[from]->observe(static_cast<uint64_t>((now() - t0).count() / 1000));
   result.status().ExpectOk();

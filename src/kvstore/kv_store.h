@@ -30,13 +30,17 @@ namespace hamr::kv {
 
 using cluster::NodeId;
 
-// RPC method ids (kv range: 100-109).
+// RPC method ids. The default store uses 100-109; an engine executor lane L
+// shifts its store's methods to lane_base(L) = 100 + 10*L, so several lane
+// engines can register their stores on the same per-node Rpc (reserved
+// range: [100, 100 + 10 * net::msg_type::kMaxEngineLanes) = [100, 260)).
 namespace rpc_id {
 inline constexpr uint32_t kPut = 100;
 inline constexpr uint32_t kGet = 101;
 inline constexpr uint32_t kAppend = 102;
 inline constexpr uint32_t kGetList = 103;
 inline constexpr uint32_t kClearNamespace = 104;
+inline constexpr uint32_t lane_base(uint32_t lane) { return kPut + 10 * lane; }
 }  // namespace rpc_id
 
 // One node's shard set. Sharded internally so concurrent tasks on the node
@@ -75,7 +79,9 @@ class LocalStore {
 // methods that serve remote requests.
 class KvStore {
  public:
-  explicit KvStore(cluster::Cluster& cluster);
+  // `rpc_base` shifts the registered method ids (see rpc_id::lane_base); all
+  // clients of this store instance call through the same base.
+  explicit KvStore(cluster::Cluster& cluster, uint32_t rpc_base = rpc_id::kPut);
 
   NodeId owner_of(std::string_view key) const;
 
@@ -99,6 +105,7 @@ class KvStore {
   }
 
   cluster::Cluster& cluster_;
+  uint32_t rpc_base_ = rpc_id::kPut;
   std::vector<std::unique_ptr<LocalStore>> stores_;
   std::vector<Counter*> local_ops_;   // kv.local_ops per node
   std::vector<Counter*> remote_ops_;  // kv.remote_ops per node

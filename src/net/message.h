@@ -47,15 +47,36 @@ class Endpoint {
 
 // Message-type registry: every subsystem claims a distinct id so a single
 // fabric can carry them all (collisions are caught by the Router).
+//
+// Engine executor lanes: the job service multiplexes several engine
+// instances ("lanes") over one fabric by giving lane L the four consecutive
+// type ids starting at kEngineLaneBase + kEngineLaneStride * L. Lane 0 is
+// the classic single-engine layout (kEngineBin..kEngineAck); the reserved
+// range is [16, 16 + 4 * kMaxEngineLanes) = [16, 80).
 namespace msg_type {
 inline constexpr uint32_t kRpcRequest = 1;
 inline constexpr uint32_t kRpcResponse = 2;
-inline constexpr uint32_t kEngineBin = 16;
-inline constexpr uint32_t kEngineControl = 17;
+inline constexpr uint32_t kEngineLaneBase = 16;
+inline constexpr uint32_t kEngineLaneStride = 4;
+inline constexpr uint32_t kMaxEngineLanes = 16;
+inline constexpr uint32_t engine_bin(uint32_t lane) {
+  return kEngineLaneBase + kEngineLaneStride * lane + 0;
+}
+inline constexpr uint32_t engine_control(uint32_t lane) {
+  return kEngineLaneBase + kEngineLaneStride * lane + 1;
+}
 // Reliable engine channel (fault-tolerant shuffle): a frame wraps a bin or
 // control payload with a per-(src,dst) sequence number; acks are cumulative.
-inline constexpr uint32_t kEngineFrame = 18;
-inline constexpr uint32_t kEngineAck = 19;
+inline constexpr uint32_t engine_frame(uint32_t lane) {
+  return kEngineLaneBase + kEngineLaneStride * lane + 2;
+}
+inline constexpr uint32_t engine_ack(uint32_t lane) {
+  return kEngineLaneBase + kEngineLaneStride * lane + 3;
+}
+inline constexpr uint32_t kEngineBin = engine_bin(0);
+inline constexpr uint32_t kEngineControl = engine_control(0);
+inline constexpr uint32_t kEngineFrame = engine_frame(0);
+inline constexpr uint32_t kEngineAck = engine_ack(0);
 }  // namespace msg_type
 
 // RPC responses ride a priority lane: they are the back-edges that unblock

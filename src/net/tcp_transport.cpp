@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <map>
 
@@ -15,11 +17,17 @@ namespace hamr::net {
 
 namespace {
 
+// Multi-MB service frames (job submissions, result payloads) routinely make
+// send()/recv() return short on loopback, and either call can land EINTR;
+// both loops below therefore retry until exactly `len` bytes moved and treat
+// only real errors / EOF as fatal.
+
 // Writes exactly `len` bytes; returns false on error/EOF.
 bool write_all(int fd, const void* data, size_t len) {
   const char* p = static_cast<const char*>(data);
   while (len > 0) {
     const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     p += n;
     len -= static_cast<size_t>(n);
@@ -32,6 +40,7 @@ bool read_all(int fd, void* data, size_t len) {
   char* p = static_cast<char*>(data);
   while (len > 0) {
     const ssize_t n = ::recv(fd, p, len, 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     p += n;
     len -= static_cast<size_t>(n);
@@ -39,10 +48,16 @@ bool read_all(int fd, void* data, size_t len) {
   return true;
 }
 
+// Sanity cap on a frame's declared payload size: a corrupted or misframed
+// header must not translate into a multi-GB allocation on the receiver.
+constexpr uint32_t kMaxFramePayload = 256u * 1024 * 1024;
+
 }  // namespace
 
 struct TcpTransport::NodeState {
-  int listen_fd = -1;
+  // Atomic because stop() retires the fd concurrently with accept_loop
+  // reading it; stop() claims ownership of the close via exchange(-1).
+  std::atomic<int> listen_fd{-1};
   uint16_t port = 0;
   MessageHandler handler;
   std::thread accept_thread;
@@ -59,21 +74,22 @@ TcpTransport::TcpTransport(uint32_t num_nodes) {
   endpoints_.reserve(num_nodes);
   for (uint32_t i = 0; i < num_nodes; ++i) {
     auto state = std::make_unique<NodeState>();
-    state->listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (state->listen_fd < 0) throw std::runtime_error("socket() failed");
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket() failed");
     int opt = 1;
-    ::setsockopt(state->listen_fd, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &opt, sizeof(opt));
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = 0;  // OS-assigned
-    if (::bind(state->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
       throw std::runtime_error("bind() failed");
     }
     socklen_t len = sizeof(addr);
-    ::getsockname(state->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
     state->port = ntohs(addr.sin_port);
-    if (::listen(state->listen_fd, 64) != 0) throw std::runtime_error("listen() failed");
+    if (::listen(fd, 64) != 0) throw std::runtime_error("listen() failed");
+    state->listen_fd.store(fd);
     nodes_.push_back(std::move(state));
     endpoints_.push_back(std::make_unique<EndpointImpl>(this, i));
   }
@@ -99,10 +115,10 @@ void TcpTransport::stop() {
   for (auto& node : nodes_) {
     // Closing the listen fd unblocks accept(); closing connections unblocks
     // the reader threads.
-    if (node->listen_fd >= 0) {
-      ::shutdown(node->listen_fd, SHUT_RDWR);
-      ::close(node->listen_fd);
-      node->listen_fd = -1;
+    const int listen_fd = node->listen_fd.exchange(-1);
+    if (listen_fd >= 0) {
+      ::shutdown(listen_fd, SHUT_RDWR);
+      ::close(listen_fd);
     }
     {
       std::lock_guard<std::mutex> lock(node->conn_mu);
@@ -125,8 +141,9 @@ void TcpTransport::stop() {
 
 void TcpTransport::accept_loop(NodeId node) {
   NodeState& s = *nodes_[node];
+  const int listen_fd = s.listen_fd.load();
   for (;;) {
-    const int fd = ::accept(s.listen_fd, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) return;  // listen socket closed: shutting down
     int opt = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &opt, sizeof(opt));
@@ -140,6 +157,13 @@ void TcpTransport::reader_loop(NodeId node, int fd) {
   for (;;) {
     uint32_t header[3];  // payload_len, type, src
     if (!read_all(fd, header, sizeof(header))) break;
+    if (header[0] > kMaxFramePayload) {
+      // Desynchronized or corrupt stream: drop the connection (the peer
+      // reconnects) rather than trust the length.
+      HLOG_ERROR << "tcp node " << node << " dropping connection: frame of "
+                 << header[0] << " bytes exceeds cap " << kMaxFramePayload;
+      break;
+    }
     Message msg;
     msg.type = header[1];
     msg.src = header[2];

@@ -26,6 +26,18 @@ const char* to_string(EventKind kind) {
       return "spill";
     case EventKind::kTaskRetry:
       return "task_retry";
+    case EventKind::kJobSubmitted:
+      return "job_submitted";
+    case EventKind::kJobDispatched:
+      return "job_dispatched";
+    case EventKind::kJobDone:
+      return "job_done";
+    case EventKind::kJobCancelled:
+      return "job_cancelled";
+    case EventKind::kJobRejected:
+      return "job_rejected";
+    case EventKind::kJobDeadline:
+      return "job_deadline";
   }
   return "unknown";
 }

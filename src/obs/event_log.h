@@ -44,6 +44,13 @@ enum class EventKind : uint8_t {
   kStallEnd,            // the same task resumed; aux = task tag
   kSpill,               // partial-reduce spill written; aux = bytes
   kTaskRetry,           // crashed task re-enqueued; aux = attempt number
+  // Job-service lifecycle (node = 0, flowlet = job id):
+  kJobSubmitted,        // ticket created; aux = priority
+  kJobDispatched,       // job began running; aux = executor lane
+  kJobDone,             // job finished; aux = 1 on success, 0 on failure
+  kJobCancelled,        // job cancelled (queued or running)
+  kJobRejected,         // admission queue full; job shed
+  kJobDeadline,         // deadline elapsed; job aborted
 };
 
 const char* to_string(EventKind kind);

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <mutex>
 #include <set>
+#include <thread>
 
 #include "cluster/cluster.h"
 #include "common/hash.h"
@@ -575,6 +576,112 @@ TEST(Engine, RunningTwoJobsConcurrentlyRejected) {
   // it concurrently here would race the test itself, so we assert the flag
   // resets by simply running again.)
   env.engine.run(g, synthetic_inputs(loader, 1, 10));
+}
+
+namespace {
+
+// Loader that parks inside its first chunk until released (or the engine
+// raises the stream-stop flag, which request_cancel does), so tests can hold
+// a run in-flight deterministically.
+class ParkedLoader : public LoaderFlowlet {
+ public:
+  ParkedLoader(std::shared_ptr<std::atomic<int>> parked,
+               std::shared_ptr<std::atomic<bool>> release)
+      : parked_(std::move(parked)), release_(std::move(release)) {}
+
+  bool load_chunk(const InputSplit& split, uint64_t* cursor,
+                  Context& ctx) override {
+    parked_->fetch_add(1);
+    while (!release_->load() && !ctx.stream_stopping()) {
+      std::this_thread::sleep_for(millis(1));
+    }
+    for (uint64_t i = 0; i < split.user_tag; ++i) {
+      ctx.emit(0, "k" + std::to_string(split.offset + i), "v");
+    }
+    (void)cursor;
+    return false;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<int>> parked_;
+  std::shared_ptr<std::atomic<bool>> release_;
+};
+
+struct ParkedRun {
+  std::shared_ptr<std::atomic<int>> parked = std::make_shared<std::atomic<int>>(0);
+  std::shared_ptr<std::atomic<bool>> release = std::make_shared<std::atomic<bool>>(false);
+  FlowletGraph graph;
+  FlowletId loader = 0;
+
+  ParkedRun() {
+    auto p = parked;
+    auto r = release;
+    loader = graph.add_loader(
+        "parked", [p, r] { return std::make_unique<ParkedLoader>(p, r); });
+    auto sink = graph.add_map("s", [] { return std::make_unique<CollectorMap>(); });
+    graph.connect(loader, sink);
+  }
+
+  void wait_parked() {
+    while (parked->load() == 0) std::this_thread::sleep_for(millis(1));
+  }
+};
+
+}  // namespace
+
+TEST(Engine, SecondRunWhileFirstInFlightThrowsLogicError) {
+  Env env(1);
+  ParkedRun pr;
+  std::thread first([&] {
+    env.engine.run(pr.graph, synthetic_inputs(pr.loader, 1, 4));
+  });
+  pr.wait_parked();
+  // The slot is genuinely occupied: a concurrent entry fails loudly instead
+  // of corrupting the in-flight job.
+  EXPECT_THROW(env.engine.run(pr.graph, synthetic_inputs(pr.loader, 1, 4)),
+               std::logic_error);
+  pr.release->store(true);
+  first.join();
+  // ...and the rejection left the running job and the slot intact.
+  env.engine.run(pr.graph, synthetic_inputs(pr.loader, 1, 4));
+}
+
+TEST(Engine, FailedRunReleasesSlotForNextJob) {
+  Env env(1);
+  FlowletGraph bad;
+  bad.add_loader("broken", nullptr);
+  EXPECT_THROW(env.engine.run(bad, JobInputs{}), std::invalid_argument);
+
+  // The guard must release the run slot on the throwing path, or this second
+  // run would be rejected as concurrent.
+  FlowletGraph g;
+  auto loader = g.add_loader("l", [] { return std::make_unique<SyntheticLoader>(); });
+  auto sink = g.add_map("s", [] { return std::make_unique<CollectorMap>(); });
+  g.connect(loader, sink);
+  const JobResult result = env.engine.run(g, synthetic_inputs(loader, 1, 10));
+  EXPECT_FALSE(result.cancelled);
+}
+
+TEST(Engine, RequestCancelAbortsRunAndClearsForNextJob) {
+  Env env(2);
+  env.engine.request_cancel();  // idle engine: safe no-op
+
+  ParkedRun pr;
+  JobResult result;
+  std::thread run([&] {
+    result = env.engine.run(pr.graph, synthetic_inputs(pr.loader, 2, 64));
+  });
+  pr.wait_parked();
+  env.engine.request_cancel();  // never released: only cancel can end it
+  run.join();
+  EXPECT_TRUE(result.cancelled);
+
+  // The cancel flag does not leak into the next job.
+  ParkedRun next;
+  next.release->store(true);
+  const JobResult clean = env.engine.run(next.graph,
+                                         synthetic_inputs(next.loader, 2, 8));
+  EXPECT_FALSE(clean.cancelled);
 }
 
 // --- event-log ordering invariants ----------------------------------------------
