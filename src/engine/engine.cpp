@@ -86,6 +86,7 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
     job_running_ = true;
     nodes_done_ = 0;
     cancel_requested_.store(false, std::memory_order_relaxed);
+    drain_requested_.store(false, std::memory_order_relaxed);
     ++epoch_;
   }
   RunGuard guard(done_mu_, job_running_, cancel_requested_);
@@ -147,6 +148,11 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
         fs->table.reset(make_table(config_.partial_reduce_stripes,
                                    config_.shared_update_rate_per_stripe,
                                    arena_gauge));
+        // Cached once so the batch fold hot path pays nothing for the
+        // event-time windowing hooks.
+        fs->stream_windowed =
+            static_cast<PartialReduceFlowlet*>(fs->instance.get())
+                ->stream_windowed();
       }
       for (EdgeId eid : gnode.out_edges) {
         if (graph.edge(eid).options.combine) {
@@ -189,20 +195,25 @@ JobResult Engine::run_internal(const FlowletGraph& graph, const JobInputs& input
   // sources to stop; completion cascades exactly as in batch.
   if (stream_duration > Duration::zero()) {
     const TimePoint deadline = now() + stream_duration;
-    while (now() < deadline && !cancel_requested()) {
+    while (now() < deadline && !cancel_requested() &&
+           !drain_requested_.load(std::memory_order_relaxed)) {
       const Duration nap = window_every > Duration::zero()
                                ? std::min(window_every, deadline - now())
                                : deadline - now();
       {
-        // Interruptible nap: request_cancel() notifies done_cv_ so a
-        // cancelled streaming job stops its sources promptly instead of
-        // sleeping out the remaining duration.
+        // Interruptible nap: request_cancel() / request_stream_drain()
+        // notify done_cv_ so a cancelled or drained streaming job stops its
+        // sources promptly instead of sleeping out the remaining duration.
         std::unique_lock<std::mutex> lock(done_mu_);
         done_cv_.wait_for(lock, nap, [&] {
-          return cancel_requested_.load(std::memory_order_relaxed);
+          return cancel_requested_.load(std::memory_order_relaxed) ||
+                 drain_requested_.load(std::memory_order_relaxed);
         });
       }
-      if (now() >= deadline || cancel_requested()) break;
+      if (now() >= deadline || cancel_requested() ||
+          drain_requested_.load(std::memory_order_relaxed)) {
+        break;
+      }
       if (window_every > Duration::zero()) {
         for (uint32_t n = 0; n < num_nodes; ++n) {
           for (FlowletId f = 0; f < graph.num_flowlets(); ++f) {
@@ -260,6 +271,19 @@ void Engine::request_cancel() {
   // cancel flag at their next boundary.
   for (auto& rt : runtimes_) rt->request_stream_stop();
   done_cv_.notify_all();
+}
+
+bool Engine::request_stream_drain() {
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (!job_running_) return false;
+    drain_requested_.store(true, std::memory_order_relaxed);
+  }
+  // Unlike cancel, only the sources stop; all in-flight data still folds and
+  // the completion cascade flushes every remaining window downstream.
+  for (auto& rt : runtimes_) rt->request_stream_stop();
+  done_cv_.notify_all();
+  return true;
 }
 
 void Engine::node_job_done(uint32_t node) {

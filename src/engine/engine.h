@@ -75,6 +75,14 @@ class Engine {
   // JobResult::cancelled set. Safe from any thread; a no-op when idle.
   void request_cancel();
 
+  // Gracefully winds down the in-flight *streaming* job: sources observe
+  // stream_stopping() at their next chunk, buffered state flushes through
+  // the normal completion cascade, and run_streaming returns early with a
+  // normal (non-cancelled) result whose outputs are complete. Safe from any
+  // thread; harmless for batch jobs. Returns false when no job is running
+  // yet (callers racing a dispatch retry until it lands or the job ends).
+  bool request_stream_drain();
+
   // True while a cancel is pending for the in-flight job.
   bool cancel_requested() const {
     return cancel_requested_.load(std::memory_order_relaxed);
@@ -110,6 +118,7 @@ class Engine {
   uint32_t nodes_done_ = 0;
   bool job_running_ = false;
   std::atomic<bool> cancel_requested_{false};
+  std::atomic<bool> drain_requested_{false};
 };
 
 }  // namespace hamr::engine

@@ -126,6 +126,44 @@ class PartialReduceFlowlet : public Flowlet {
   // a port exists (sink partial reduces override to write output instead).
   virtual void emit_result(std::string_view key, std::string_view acc,
                            Context& ctx);
+
+  // --- event-time windowing hooks (see src/stream/) ------------------------
+  // A *windowed* partial reduce accumulates per-(window, key) state and
+  // closes windows when in-band watermark punctuation aligns, instead of the
+  // processing-time flush. Batch flowlets keep the defaults; the engine
+  // caches stream_windowed() at job build so the batch hot path pays nothing.
+
+  virtual bool stream_windowed() const { return false; }
+
+  // True when `key` is a watermark punctuation record rather than data; such
+  // records are routed to on_punctuation() and never touch the accumulator
+  // table.
+  virtual bool is_punctuation(std::string_view key) const {
+    (void)key;
+    return false;
+  }
+
+  // Handles one punctuation record. Returns the operator's new aligned
+  // watermark (every expected origin has reported at least this, in
+  // event-time microseconds), or INT64_MIN when the watermark did not
+  // advance. Called without the stripe locks held; implementations
+  // synchronize their own state.
+  virtual int64_t on_punctuation(std::string_view key, std::string_view value) {
+    (void)key;
+    (void)value;
+    return INT64_MIN;
+  }
+
+  // Window end (event-time us) encoded in a composite accumulator key, or
+  // INT64_MIN when the key carries no window.
+  virtual int64_t window_end_of(std::string_view key) const {
+    (void)key;
+    return INT64_MIN;
+  }
+
+  // Drains the window ends first opened since the last call (the runtime
+  // logs them as kWindowOpen). Appends to *out.
+  virtual void take_opened_windows(std::vector<int64_t>* out) { (void)out; }
 };
 
 using FlowletFactory = std::function<std::unique_ptr<Flowlet>()>;

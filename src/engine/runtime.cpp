@@ -228,6 +228,9 @@ NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
   stall_us_h_ = metrics().histogram("engine.stall_us");
   task_us_h_ = metrics().histogram("engine.task_us");
   arena_bytes_g_ = metrics().gauge("engine.arena_bytes");
+  windows_emitted_c_ = metrics().counter("stream.windows_emitted");
+  window_emit_us_h_ = metrics().histogram("stream.window_emit_latency_us");
+  wm_lag_us_h_ = metrics().histogram("stream.watermark_lag_us");
   ShardedScheduler::Hooks hooks;
   hooks.steals = metrics().counter("engine.sched_steal");
   hooks.lock_wait_ns = metrics().counter("engine.sched_lock_wait_ns");
@@ -311,6 +314,7 @@ void NodeRuntime::activate_job(
 void NodeRuntime::on_bin_message(net::Message&& msg) {
   auto job = current_job();
   if (!job) return;
+  uint64_t bin_index = 0;
   // Parse only the header to account the pending bin (cheap).
   try {
     BinView view(msg.payload);
@@ -323,12 +327,17 @@ void NodeRuntime::on_bin_message(net::Message&& msg) {
     obs::trace().record_instant("bin.enqueue", "engine.bin", node_id(),
                                 edge.dst, static_cast<int64_t>(view.records()));
     job->flowlets[edge.dst]->pending_bins.fetch_add(1);
+    // The fetch_add return value is this bin's enqueue index: any watermark
+    // barrier armed after this point has armed_target > index, and the close
+    // waits for the processed prefix to pass it.
+    bin_index = job->flowlets[edge.dst]->bins_enqueued.fetch_add(1);
   } catch (const serde::DecodeError& e) {
     HLOG_ERROR << "node " << node_id() << " malformed bin: " << e.what();
     return;
   }
   QueueItem item;
   item.src = msg.src;
+  item.bin_index = bin_index;
   item.payload = std::move(msg.payload);
   sched_.push_bin(std::move(item));
 }
@@ -543,6 +552,7 @@ void NodeRuntime::process_bin(const QueueItem& item) {
   // bookkeeping below still runs so the shutdown cascade reaches every node.
   if (job_cancelled()) {
     log_event(obs::EventKind::kBinProcessed, edge.dst, 0);
+    if (fs.stream_windowed) mark_bin_done(fs, item.bin_index);
     fs.pending_bins.fetch_sub(1);
     maybe_schedule_finish(edge.dst);
     return;
@@ -575,7 +585,7 @@ void NodeRuntime::process_bin(const QueueItem& item) {
         break;
       }
       case FlowletKind::kPartialReduce:
-        fold_partial_bin(fs, view);
+        fold_partial_bin(edge.dst, fs, view);
         break;
       case FlowletKind::kReduce:
         stage_reduce_bin(edge.dst, fs, view);
@@ -592,8 +602,11 @@ void NodeRuntime::process_bin(const QueueItem& item) {
   // only reachable once pending_bins hits zero, so every kBinProcessed
   // event of a flowlet precedes its kFlowletComplete in the log.
   log_event(obs::EventKind::kBinProcessed, edge.dst, records);
+  if (fs.stream_windowed) mark_bin_done(fs, item.bin_index);
   fs.pending_bins.fetch_sub(1);
   maybe_schedule_finish(edge.dst);
+  // This completion may be the one that satisfies an armed watermark barrier.
+  if (fs.stream_windowed) maybe_close_event_windows(edge.dst);
 }
 
 void NodeRuntime::process_control(const QueueItem& item) {
@@ -693,16 +706,25 @@ void NodeRuntime::run_split_chunk(FlowletId loader, const InputSplit& split,
 
 // --- partial reduce ----------------------------------------------------------
 
-void NodeRuntime::fold_partial_bin(internal::FlowletState& fs, BinView& bin) {
+void NodeRuntime::fold_partial_bin(FlowletId flowlet, internal::FlowletState& fs,
+                                   BinView& bin) {
   auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
   internal::PartialTable& table = *fs.table;
   const uint32_t num_stripes = static_cast<uint32_t>(table.stripes.size());
 
   // Fold record by record under the stripe lock; charge each stripe's
-  // serialized-update gate once per bin (batched cost model).
+  // serialized-update gate once per bin (batched cost model). Windowed
+  // flowlets route in-band watermark punctuation around the table (handled
+  // after the loop, outside any stripe lock).
   KvPair record;
   std::vector<uint64_t> per_stripe(num_stripes, 0);
+  int64_t aligned = INT64_MIN;
   while (bin.next(&record)) {
+    if (fs.stream_windowed && pr->is_punctuation(record.key)) {
+      const int64_t w = pr->on_punctuation(record.key, record.value);
+      if (w > aligned) aligned = w;
+      continue;
+    }
     const uint32_t si = stripe_of(record.key, num_stripes);
     internal::PartialTable::Stripe& stripe = table.stripes[si];
     {
@@ -720,6 +742,34 @@ void NodeRuntime::fold_partial_bin(internal::FlowletState& fs, BinView& bin) {
     table.stripes[si].gate->charge(per_stripe[si]);
   }
   folds_c_->add(folds);
+
+  if (!fs.stream_windowed) return;
+
+  // Log windows first opened by this bin, then arm the close barrier if the
+  // operator watermark advanced. kWindowOpen is logged before the bin's
+  // pending_bins decrement, and any close covering these windows needs that
+  // decrement, so in every legal log open precedes emit for the same end.
+  std::vector<int64_t> opened;
+  pr->take_opened_windows(&opened);
+  if (opened.empty() && aligned == INT64_MIN) return;
+  std::lock_guard<std::mutex> lock(fs.wm_mu);
+  for (const int64_t end : opened) {
+    if (end > fs.max_open_end) fs.max_open_end = end;
+    log_event(obs::EventKind::kWindowOpen, flowlet, end);
+  }
+  if (aligned > fs.armed_watermark && aligned > fs.closed_watermark) {
+    fs.armed_watermark = aligned;
+    // Channel FIFO guarantees every event covered by this watermark was
+    // enqueued before the punctuation that carried it, so this snapshot
+    // covers them all (plus possibly later bins - a late close is safe).
+    fs.armed_target = fs.bins_enqueued.load();
+    fs.armed_at = now();
+    log_event(obs::EventKind::kWatermarkAdvance, flowlet, aligned);
+    if (fs.max_open_end != INT64_MIN && aligned != INT64_MAX) {
+      const int64_t lag = fs.max_open_end > aligned ? fs.max_open_end - aligned : 0;
+      wm_lag_us_h_->observe(static_cast<uint64_t>(lag));
+    }
+  }
 }
 
 // --- reduce staging / firing ---------------------------------------------
@@ -962,13 +1012,37 @@ void NodeRuntime::run_finish(FlowletId flowlet) {
     TaskContext ctx(this, job.get(), flowlet);
     if (fs.kind == FlowletKind::kPartialReduce) {
       // Emit accumulated results before the user finish() hook (paper §2:
-      // partial reduce outputs only on upstream completion).
+      // partial reduce outputs only on upstream completion). For a windowed
+      // flowlet this is the still-open remainder - every window already
+      // closed by a watermark was drained out of the table, so the union of
+      // mid-stream closes and this final flush is exactly-once. wm_mu
+      // serializes against a close still in flight.
       auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
+      std::unique_lock<std::mutex> wm_lock;
+      if (fs.stream_windowed) {
+        wm_lock = std::unique_lock<std::mutex>(fs.wm_mu);
+      }
+      std::vector<int64_t> ends;
       for (auto& stripe : fs.table->stripes) {
         std::lock_guard<std::mutex> lock(stripe.mu);
-        for (auto& e : stripe.acc.entries()) pr->emit_result(e.key, e.acc, ctx);
+        for (auto& e : stripe.acc.entries()) {
+          if (fs.stream_windowed) {
+            const int64_t end = pr->window_end_of(e.key);
+            if (end != INT64_MIN &&
+                std::find(ends.begin(), ends.end(), end) == ends.end()) {
+              ends.push_back(end);
+            }
+          }
+          pr->emit_result(e.key, e.acc, ctx);
+        }
         stripe.acc.clear();
       }
+      // kFlowletReady already precedes these in the (node, flowlet) stream,
+      // which is the ordering invariant finish-path emissions satisfy.
+      for (const int64_t end : ends) {
+        log_event(obs::EventKind::kWindowEmit, flowlet, end);
+      }
+      if (!ends.empty()) windows_emitted_c_->add(ends.size());
     }
     fs.instance->finish(ctx);
   }
@@ -1062,6 +1136,9 @@ void NodeRuntime::flush_window(FlowletId flowlet) {
       fs.finish_scheduled.load() || job_cancelled()) {
     return;
   }
+  // Event-time flowlets close on watermarks only: a processing-time flush
+  // here would emit still-open windows and break exactly-once.
+  if (fs.stream_windowed) return;
   auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
   TaskContext ctx(this, job.get(), flowlet);
   for (auto& stripe : fs.table->stripes) {
@@ -1072,6 +1149,120 @@ void NodeRuntime::flush_window(FlowletId flowlet) {
       stripe.acc = FlatAccTable(arena_bytes_g_);
     }
     for (auto& e : drained.entries()) pr->emit_result(e.key, e.acc, ctx);
+  }
+}
+
+void NodeRuntime::mark_bin_done(internal::FlowletState& fs, uint64_t index) {
+  std::lock_guard<std::mutex> lock(fs.done_mu);
+  uint64_t prefix = fs.done_prefix.load(std::memory_order_relaxed);
+  if (index != prefix) {
+    fs.done_out_of_order.insert(index);
+    return;
+  }
+  ++prefix;
+  for (auto it = fs.done_out_of_order.begin();
+       it != fs.done_out_of_order.end() && *it == prefix;
+       it = fs.done_out_of_order.erase(it)) {
+    ++prefix;
+  }
+  fs.done_prefix.store(prefix, std::memory_order_release);
+}
+
+void NodeRuntime::maybe_close_event_windows(FlowletId flowlet) {
+  auto job = current_job();
+  if (!job) return;
+  internal::FlowletState& fs = *job->flowlets[flowlet];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(fs.wm_mu);
+      if (fs.armed_watermark == INT64_MIN) return;
+      // Prefix, not count: every bin enqueued before the arm must be done.
+      // Out-of-order completions (work stealing, crash-retry backoff) of
+      // later bins must not stand in for a parked covered bin.
+      if (fs.done_prefix.load(std::memory_order_acquire) < fs.armed_target) {
+        return;
+      }
+    }
+    // One closer at a time; a loser's armed state is re-checked by the
+    // winner's loop after its close finishes.
+    if (fs.close_running.exchange(true)) return;
+    int64_t watermark = INT64_MIN;
+    TimePoint armed_at{};
+    {
+      std::lock_guard<std::mutex> lock(fs.wm_mu);
+      if (fs.armed_watermark != INT64_MIN &&
+          fs.done_prefix.load(std::memory_order_acquire) >= fs.armed_target) {
+        watermark = fs.armed_watermark;
+        armed_at = fs.armed_at;
+        fs.armed_watermark = INT64_MIN;
+        if (watermark > fs.closed_watermark) fs.closed_watermark = watermark;
+      }
+    }
+    if (watermark != INT64_MIN) close_event_windows(flowlet, watermark, armed_at);
+    fs.close_running.store(false);
+    // Loop: a newer watermark may have armed while this close ran.
+  }
+}
+
+void NodeRuntime::close_event_windows(FlowletId flowlet, int64_t watermark,
+                                      TimePoint armed_at) {
+  auto job = current_job();
+  if (!job) return;
+  internal::FlowletState& fs = *job->flowlets[flowlet];
+  auto* pr = static_cast<PartialReduceFlowlet*>(fs.instance.get());
+  // wm_mu held for the whole close: the finish path takes it around its
+  // final emission, so finish can never emit a stripe this close is about to
+  // re-insert keepers into (which would lose them).
+  std::lock_guard<std::mutex> wm_lock(fs.wm_mu);
+  if (fs.complete.load() || fs.finish_scheduled.load() || job_cancelled()) {
+    // The finish path owns (or will own) the remaining table contents.
+    return;
+  }
+  TaskContext ctx(this, job.get(), flowlet);
+  obs::TraceSpan span("task.window_close", "engine.task", node_id(), flowlet,
+                      watermark == INT64_MAX ? -1 : watermark);
+  std::vector<int64_t> ends;
+  for (auto& stripe : fs.table->stripes) {
+    FlatAccTable drained;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mu);
+      bool any = false;
+      for (const auto& e : stripe.acc.entries()) {
+        const int64_t end = pr->window_end_of(e.key);
+        if (end != INT64_MIN && end <= watermark) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) continue;
+      // Drain-and-reinsert under the stripe lock: FlatAccTable has no erase,
+      // and releasing the lock between drain and reinsert would let a
+      // concurrent fold insert a second accumulator for a kept key.
+      drained = std::move(stripe.acc);
+      stripe.acc = FlatAccTable(arena_bytes_g_);
+      for (auto& e : drained.entries()) {
+        const int64_t end = pr->window_end_of(e.key);
+        if (end != INT64_MIN && end <= watermark) continue;  // closes below
+        stripe.acc.find_or_insert(e.key) = std::move(e.acc);
+      }
+    }
+    // Emit outside the stripe lock; `drained` keeps the key arena alive.
+    for (auto& e : drained.entries()) {
+      const int64_t end = pr->window_end_of(e.key);
+      if (end == INT64_MIN || end > watermark) continue;
+      pr->emit_result(e.key, e.acc, ctx);
+      if (std::find(ends.begin(), ends.end(), end) == ends.end()) {
+        ends.push_back(end);
+      }
+    }
+  }
+  for (const int64_t end : ends) {
+    log_event(obs::EventKind::kWindowEmit, flowlet, end);
+  }
+  if (!ends.empty()) {
+    windows_emitted_c_->add(ends.size());
+    window_emit_us_h_->observe(
+        static_cast<uint64_t>((now() - armed_at).count() / 1000));
   }
 }
 

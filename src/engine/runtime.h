@@ -38,6 +38,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -150,6 +151,39 @@ struct FlowletState {
   // Per-flowlet task latency histogram (engine.flowlet.<id>.task_us),
   // registered in the node's Metrics at job build time; pointer is stable.
   Histogram* task_us = nullptr;
+
+  // --- event-time windowing (kind == kPartialReduce, stream_windowed()) ---
+  // Cached PartialReduceFlowlet::stream_windowed() (set at job build).
+  bool stream_windowed = false;
+  // Bins ever enqueued locally for this flowlet (monotone). The fetch_add
+  // return value is the bin's enqueue index, carried on the QueueItem so
+  // completion can be tracked per bin.
+  std::atomic<uint64_t> bins_enqueued{0};
+  // Prefix-processed tracking: done_prefix = smallest enqueue index not yet
+  // fully processed (every index below it is done). A simple
+  // enqueued - pending >= target count is NOT a barrier: the work-stealing
+  // scheduler and crash-retry backoffs complete bins out of order, so later
+  // bins (enqueued after an arm) can stand in for a parked earlier one and
+  // the count reaches the target while covered data is still unfolded.
+  // done_prefix cannot be fooled that way. Guarded by done_mu; read
+  // lock-free by the close barrier.
+  std::mutex done_mu;
+  std::atomic<uint64_t> done_prefix{0};
+  std::set<uint64_t> done_out_of_order;
+  // Watermark close barrier, guarded by wm_mu. Punctuation alignment arms it
+  // with a target = bins_enqueued snapshot; it fires once every bin enqueued
+  // before arming has been processed (done_prefix >= armed_target). The
+  // barrier exists because "punctuation processed" alone does not imply
+  // "covered data folded" when bins complete out of order.
+  // wm_mu also serializes window close against the finish-path emission, so
+  // a drain-and-reinsert close can never race a concurrent final flush.
+  std::mutex wm_mu;
+  int64_t armed_watermark = INT64_MIN;  // INT64_MIN = not armed
+  uint64_t armed_target = 0;
+  TimePoint armed_at{};
+  int64_t closed_watermark = INT64_MIN;
+  int64_t max_open_end = INT64_MIN;  // newest window end opened (lag probe)
+  std::atomic<bool> close_running{false};
 };
 
 // One job's per-node state. Built by the Engine, owned jointly by the
@@ -245,7 +279,10 @@ class NodeRuntime {
   void run_split_chunk(FlowletId loader, const InputSplit& split, uint64_t cursor,
                        uint32_t attempt = 0);
   void stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs, BinView& bin);
-  void fold_partial_bin(internal::FlowletState& fs, BinView& bin);
+  void fold_partial_bin(FlowletId flowlet, internal::FlowletState& fs, BinView& bin);
+  // Advances the flowlet's processed-bin prefix past `index` (stream_windowed
+  // close-barrier bookkeeping; see FlowletState::done_prefix).
+  void mark_bin_done(internal::FlowletState& fs, uint64_t index);
   void maybe_schedule_finish(FlowletId flowlet);
   void run_finish(FlowletId flowlet);
   void fire_reduce(FlowletId flowlet);
@@ -255,7 +292,14 @@ class NodeRuntime {
   void broadcast_complete(FlowletId flowlet);
   void flush_combine_stripe(internal::JobState& job, EdgeId edge_id,
                             uint32_t stripe_index);
-  void flush_window(FlowletId flowlet);  // streaming punctuation
+  void flush_window(FlowletId flowlet);  // processing-time streaming flush
+  // Event-time close path: fires the armed watermark barrier once all bins
+  // enqueued before arming are processed, then drains every accumulator
+  // whose window end <= watermark through emit_result (exactly once; open
+  // windows are re-inserted under the stripe lock).
+  void maybe_close_event_windows(FlowletId flowlet);
+  void close_event_windows(FlowletId flowlet, int64_t watermark,
+                           TimePoint armed_at);
 
   // --- fault recovery ---
   bool reliable() const {
@@ -318,6 +362,10 @@ class NodeRuntime {
   Histogram* stall_us_h_ = nullptr;
   Histogram* task_us_h_ = nullptr;
   Gauge* arena_bytes_g_ = nullptr;
+  // Streaming (stream.* family; idle unless a windowed flowlet runs).
+  Counter* windows_emitted_c_ = nullptr;
+  Histogram* window_emit_us_h_ = nullptr;
+  Histogram* wm_lag_us_h_ = nullptr;
 
   // Scheduler: per-worker sharded deques with work stealing (see
   // scheduler.h). The delivery thread routes each sender to a fixed shard

@@ -43,6 +43,9 @@ struct QueueItem {
   bool is_control = false;
   uint32_t src = 0;
   uint32_t attempts = 0;  // crash-retry count for this bin
+  // Per-destination-flowlet enqueue index (bins_enqueued fetch_add value),
+  // carried so completion can advance the flowlet's processed-bin prefix.
+  uint64_t bin_index = 0;
   std::string payload;
 };
 

@@ -26,7 +26,11 @@ struct Message {
 // Delivery callback. Invoked on a transport-owned delivery thread, one
 // message at a time per destination node (per-destination serial order, and
 // FIFO per (src,dst) channel - the engine's completion protocol relies on
-// this). The handler may block; blocking applies backpressure to senders.
+// this, and so does event-time streaming: watermark punctuation rides the
+// engine bin channel behind the events it covers, and the reliable shuffle
+// restores this FIFO under drops/reorder, so punctuation arrival proves the
+// covered data arrived). The handler may block; blocking applies
+// backpressure to senders.
 using MessageHandler = std::function<void(Message&&)>;
 
 // One node's port into a transport fabric.

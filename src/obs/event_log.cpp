@@ -38,6 +38,12 @@ const char* to_string(EventKind kind) {
       return "job_rejected";
     case EventKind::kJobDeadline:
       return "job_deadline";
+    case EventKind::kWindowOpen:
+      return "window_open";
+    case EventKind::kWatermarkAdvance:
+      return "watermark_advance";
+    case EventKind::kWindowEmit:
+      return "window_emit";
   }
   return "unknown";
 }

@@ -51,6 +51,10 @@ enum class EventKind : uint8_t {
   kJobCancelled,        // job cancelled (queued or running)
   kJobRejected,         // admission queue full; job shed
   kJobDeadline,         // deadline elapsed; job aborted
+  // Event-time streaming (src/stream/):
+  kWindowOpen,          // first record folded for a window; aux = window end (us)
+  kWatermarkAdvance,    // operator watermark advanced; aux = new watermark (us)
+  kWindowEmit,          // closed window emitted downstream; aux = window end (us)
 };
 
 const char* to_string(EventKind kind);

@@ -43,6 +43,10 @@ JobRpcServer::JobRpcServer(JobService* service, net::Rpc* rpc)
                        [this](net::NodeId, std::string_view arg) {
                          return handle_cancel(arg);
                        });
+  rpc->register_method(rpc_id::kDrain,
+                       [this](net::NodeId, std::string_view arg) {
+                         return handle_drain(arg);
+                       });
   rpc->register_method(rpc_id::kResult,
                        [this](net::NodeId, std::string_view arg) {
                          return handle_result(arg);
@@ -82,6 +86,14 @@ std::string JobRpcServer::handle_poll(std::string_view arg) {
 
 std::string JobRpcServer::handle_cancel(std::string_view arg) {
   const bool ok = service_->cancel(decode_job_id(arg));
+  ByteBuffer buf;
+  serde::Writer w(buf);
+  w.put_bool(ok);
+  return std::string(buf.view());
+}
+
+std::string JobRpcServer::handle_drain(std::string_view arg) {
+  const bool ok = service_->drain(decode_job_id(arg));
   ByteBuffer buf;
   serde::Writer w(buf);
   w.put_bool(ok);
@@ -154,6 +166,14 @@ bool JobClient::cancel(uint64_t job_id) {
   const std::string reply = check(
       rpc_.call_sync(server_, rpc_id::kCancel, encode_job_id(job_id)),
       "cancel");
+  serde::Reader r(reply);
+  return r.get_bool();
+}
+
+bool JobClient::drain(uint64_t job_id) {
+  const std::string reply = check(
+      rpc_.call_sync(server_, rpc_id::kDrain, encode_job_id(job_id)),
+      "drain");
   serde::Reader r(reply);
   return r.get_bool();
 }

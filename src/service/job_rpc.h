@@ -12,6 +12,7 @@
 //   submit reply : varint job_id | u8 status
 //   poll arg     : varint job_id        -> reply: u8 status
 //   cancel arg   : varint job_id        -> reply: bool cancelled
+//   drain arg    : varint job_id        -> reply: bool draining
 //   result arg   : varint job_id        -> reply: u8 status | bytes payload |
 //                  bytes error | double wall_seconds | varint records_emitted
 #pragma once
@@ -33,6 +34,7 @@ inline constexpr uint32_t kSubmit = 300;
 inline constexpr uint32_t kPoll = 301;
 inline constexpr uint32_t kCancel = 302;
 inline constexpr uint32_t kResult = 303;
+inline constexpr uint32_t kDrain = 304;
 }  // namespace rpc_id
 
 // Server side: registers the verbs on `rpc` (not owned; both must outlive
@@ -45,6 +47,7 @@ class JobRpcServer {
   std::string handle_submit(std::string_view arg);
   std::string handle_poll(std::string_view arg);
   std::string handle_cancel(std::string_view arg);
+  std::string handle_drain(std::string_view arg);
   std::string handle_result(std::string_view arg);
 
   JobService* service_;
@@ -68,6 +71,9 @@ class JobClient {
   uint64_t submit(const JobSpec& spec, JobStatus* status = nullptr);
   JobStatus poll(uint64_t job_id);
   bool cancel(uint64_t job_id);
+  // Graceful streaming wind-down (JobService::drain): the job completes as
+  // kDone with its payload instead of kCancelled.
+  bool drain(uint64_t job_id);
   RemoteResult result(uint64_t job_id);
 
   // Polls until terminal or timeout; returns the last observed status.

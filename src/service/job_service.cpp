@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "common/logging.h"
 #include "net/message.h"
@@ -222,6 +223,36 @@ bool JobService::cancel(uint64_t job_id) {
   return true;
 }
 
+bool JobService::drain(uint64_t job_id) {
+  std::shared_ptr<Job> job;
+  int32_t lane = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) return false;
+    job = it->second;
+    if (is_terminal(job->ticket->status())) return false;
+    job->drain_requested.store(true);
+    // Queued: leave it queued; run_job sees the flag and runs the stream
+    // with a token duration (start, flush, complete).
+    lane = job->lane.load();
+    if (lane < 0 || lane_jobs_[lane] != job) return true;
+  }
+  // Dispatched: hand the drain to the lane's engine. Between run_job's
+  // drain-flag check and the engine claiming the job there is a gap where
+  // request_stream_drain lands on an idle engine and is lost, so retry until
+  // it sticks or the job reaches a terminal state on its own.
+  while (!is_terminal(job->ticket->status())) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (lane_jobs_[lane] != job) break;  // lane moved on: job is winding up
+      if (lanes_[lane]->request_stream_drain()) return true;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  return true;
+}
+
 void JobService::lane_loop(uint32_t lane) {
   for (;;) {
     std::shared_ptr<Job> job;
@@ -274,10 +305,18 @@ void JobService::run_job(uint32_t lane, const std::shared_ptr<Job>& job) {
   std::string payload;
   std::string error;
   bool failed = false;
+  // A drain that landed while the job was still queued: run the stream with
+  // a token duration so it starts, flushes, and completes immediately. (A
+  // drain arriving in the microscopic gap between this check and the engine
+  // claiming the job just waits out the clamped duration.)
+  Duration stream_duration = job->work.stream_duration;
+  if (job->drain_requested.load() && stream_duration > Duration::zero()) {
+    stream_duration = std::chrono::milliseconds(1);
+  }
   try {
-    result = job->work.stream_duration > Duration::zero()
+    result = stream_duration > Duration::zero()
                  ? eng.run_streaming(job->work.graph, job->work.inputs,
-                                     job->work.stream_duration,
+                                     stream_duration,
                                      job->work.window_every)
                  : eng.run(job->work.graph, job->work.inputs);
     if (!result.cancelled && job->work.collect) {

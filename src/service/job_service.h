@@ -193,6 +193,13 @@ class JobService {
   // terminal. Running jobs abort at their next task boundary.
   bool cancel(uint64_t job_id);
 
+  // Gracefully drains a streaming job: its sources stop, buffered windows
+  // flush, and the job completes as kDone with its collect() payload (a
+  // queued streaming job runs with a token duration and drains immediately).
+  // Returns false when unknown or already terminal; harmless for batch jobs
+  // (they run to completion anyway).
+  bool drain(uint64_t job_id);
+
   // Ticket lookup (RPC poll/result path); null when unknown.
   std::shared_ptr<JobTicket> ticket(uint64_t job_id) const;
 
@@ -213,6 +220,7 @@ class JobService {
     std::shared_ptr<JobTicket> ticket;
     JobWork work;
     std::atomic<bool> cancel_requested{false};
+    std::atomic<bool> drain_requested{false};
     std::atomic<bool> deadline_hit{false};
     // Lane the job was dispatched to; -1 while queued.
     std::atomic<int32_t> lane{-1};

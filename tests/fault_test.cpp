@@ -18,6 +18,9 @@
 #include "gen/generators.h"
 #include "net/message.h"
 #include "obs/metrics_snapshot.h"
+#include "stream/source.h"
+#include "stream/stream_service.h"
+#include "stream/window.h"
 
 using namespace hamr;
 
@@ -378,4 +381,49 @@ TEST(Chaos, WordCountSurvivesChaosWithEightWorkerStealing) {
     steals += env.cluster->node(n).metrics().counter("engine.sched_steal")->get();
   }
   EXPECT_GT(steals, 0u);
+}
+
+TEST(ChaosStream, WindowedWordCountStaysByteIdenticalUnderChaos) {
+  // Event-time streaming exactly-once probe: a bounded generator replay
+  // through source -> windows -> sink, run clean and under a 5% message
+  // chaos + 2% task-crash plan. The WindowFileSink concatenates duplicate
+  // emissions with ';', so ANY window emitted twice (or a lost one) changes
+  // the output bytes - the two runs must match exactly.
+  stream::GeneratorConfig gen;
+  gen.total_events = 2500;
+  gen.period_us = 100;
+  gen.jitter_us = 400;  // out-of-order arrivals within each source
+  gen.seed = 5;
+  const stream::WindowSpec window{.size_us = 20'000, .slide_us = 0};
+
+  auto pipeline = [&] {
+    stream::StreamPipeline p;
+    p.source = [gen] { return std::make_unique<stream::GeneratorSource>(gen); };
+    p.source_options.window = window;
+    p.source_options.events_per_chunk = 128;
+    p.source_options.punctuate_every = 256;
+    p.fold = [](std::string_view, std::string_view value, std::string& acc) {
+      const uint64_t add = std::stoull(std::string(value));
+      const uint64_t have = acc.empty() ? 0 : std::stoull(acc);
+      acc = std::to_string(have + add);
+    };
+    p.output_dir = "chaos_stream/out";
+    return p;
+  };
+  auto run = [&](apps::BenchEnv& env) {
+    service::JobWork work =
+        stream::StreamService::make_work(pipeline(), env.nodes(), nullptr);
+    env.engine->run(work.graph, work.inputs);
+    return stream::WindowFileSink::read_all(*env.cluster, "chaos_stream/out");
+  };
+
+  apps::BenchEnv clean = apps::BenchEnv::fast(4);
+  const std::string expected = run(clean);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(expected.find(';'), std::string::npos);
+
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/23, /*msg_rate=*/0.05,
+                                         /*crash_rate=*/0.02));
+  EXPECT_EQ(run(chaos.env), expected);
+  EXPECT_GT(chaos.injector.stats().total(), 0u);
 }
