@@ -186,13 +186,6 @@ void finish_observability(const BenchSetup& setup) {
 
 namespace {
 
-std::vector<std::string> make_shards(uint32_t n,
-                                     const std::function<std::string(uint32_t)>& fn) {
-  std::vector<std::string> shards;
-  shards.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) shards.push_back(fn(i));
-  return shards;
-}
 
 double mb(uint64_t bytes) { return static_cast<double>(bytes) / 1e6; }
 
@@ -202,7 +195,7 @@ Row bench_kmeans(const BenchSetup& setup) {
   apps::BenchEnv env = setup.make_env();
   gen::MoviesSpec spec;
   spec.total_bytes = static_cast<uint64_t>(64e6 * setup.scale);
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::movie_vectors_shard(spec, i, env.nodes());
   });
   auto staged = apps::stage_input(env, "kmeans", shards);
@@ -219,7 +212,7 @@ Row bench_classification(const BenchSetup& setup) {
   apps::BenchEnv env = setup.make_env();
   gen::MoviesSpec spec;
   spec.total_bytes = static_cast<uint64_t>(64e6 * setup.scale);
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::movie_vectors_shard(spec, i, env.nodes());
   });
   auto staged = apps::stage_input(env, "classification", shards);
@@ -237,7 +230,7 @@ Row bench_pagerank(const BenchSetup& setup) {
   gen::WebGraphSpec spec;
   spec.num_pages = 16384;
   spec.num_edges = static_cast<uint64_t>(1000e3 * setup.scale);
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::web_graph_shard(spec, i, env.nodes());
   });
   auto staged = apps::stage_input(env, "pagerank", shards);
@@ -257,7 +250,7 @@ Row bench_kcliques(const BenchSetup& setup) {
   gen::RmatSpec spec;
   spec.scale = 12;
   spec.num_edges = static_cast<uint64_t>(48e3 * setup.scale);
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::rmat_shard(spec, i, env.nodes());
   });
   auto staged = apps::stage_input(env, "kcliques", shards);
@@ -275,7 +268,7 @@ Row bench_wordcount(const BenchSetup& setup) {
   apps::BenchEnv env = setup.make_env();
   gen::TextSpec spec;
   spec.total_bytes = static_cast<uint64_t>(16e6 * setup.scale);
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::text_shard(spec, i, env.nodes());
   });
   auto staged = apps::stage_input(env, "wordcount", shards);
@@ -295,7 +288,7 @@ Row bench_histogram(const BenchSetup& setup, apps::histograms::Kind kind,
   gen::MoviesSpec spec;
   spec.total_bytes = static_cast<uint64_t>(24e6 * setup.scale);
   const bool movies = kind == apps::histograms::Kind::kMovies;
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::movies_shard(spec, i, env.nodes());
   });
   auto staged = apps::stage_input(
@@ -330,7 +323,7 @@ Row bench_naive_bayes(const BenchSetup& setup) {
   apps::BenchEnv env = setup.make_env();
   gen::DocsSpec spec;
   spec.total_bytes = static_cast<uint64_t>(4e6 * setup.scale);
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::docs_shard(spec, i, env.nodes());
   });
   auto staged = apps::stage_input(env, "naive_bayes", shards);

@@ -23,6 +23,14 @@ BenchEnv BenchEnv::fast(uint32_t nodes, uint32_t threads) {
   return env;
 }
 
+std::vector<std::string> make_shards(
+    uint32_t n, const std::function<std::string(uint32_t)>& fn) {
+  std::vector<std::string> shards;
+  shards.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) shards.push_back(fn(i));
+  return shards;
+}
+
 StagedInput stage_input(BenchEnv& env, const std::string& name,
                         const std::vector<std::string>& shards,
                         uint64_t split_target_bytes) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,6 +37,11 @@ struct BenchEnv {
 
   uint32_t nodes() const { return cluster->size(); }
 };
+
+// Builds n shard strings by calling fn(i) for each i in [0, n) — the
+// "one generated shard per node" pattern shared by benches and tests.
+std::vector<std::string> make_shards(
+    uint32_t n, const std::function<std::string(uint32_t)>& fn);
 
 struct StagedInput {
   // Engine side: line-aligned splits of the per-node local files.

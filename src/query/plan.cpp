@@ -1,0 +1,293 @@
+#include "query/plan.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hamr::query {
+
+const Table& Catalog::at(const std::string& name) const {
+  auto it = tables.find(name);
+  if (it == tables.end()) {
+    throw std::invalid_argument("unknown table: " + name);
+  }
+  return it->second;
+}
+
+Expr Expr::cmp(uint32_t col, CmpOp op, Value literal) {
+  Expr e;
+  e.kind = Kind::kCmp;
+  e.col = col;
+  e.op = op;
+  e.literal = std::move(literal);
+  return e;
+}
+
+Expr Expr::and_of(std::vector<Expr> children) {
+  Expr e;
+  e.kind = Kind::kAnd;
+  e.children = std::move(children);
+  return e;
+}
+
+Expr Expr::or_of(std::vector<Expr> children) {
+  Expr e;
+  e.kind = Kind::kOr;
+  e.children = std::move(children);
+  return e;
+}
+
+Expr Expr::not_of(Expr child) {
+  Expr e;
+  e.kind = Kind::kNot;
+  e.children.push_back(std::move(child));
+  return e;
+}
+
+namespace {
+
+template <typename T>
+bool compare(CmpOp op, const T& a, const T& b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return a != b;
+    case CmpOp::kLt: return a < b;
+    case CmpOp::kLe: return a <= b;
+    case CmpOp::kGt: return a > b;
+    case CmpOp::kGe: return a >= b;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool eval_predicate(const Expr& expr, const Row& row) {
+  switch (expr.kind) {
+    case Expr::Kind::kCmp: {
+      const Value& v = row.at(expr.col);
+      switch (expr.literal.type) {
+        case ColType::kI64: return compare(expr.op, v.as_i64(), expr.literal.i);
+        case ColType::kF64: return compare(expr.op, v.as_f64(), expr.literal.f);
+        case ColType::kStr: return compare(expr.op, v.as_str(), expr.literal.s);
+      }
+      return false;
+    }
+    case Expr::Kind::kAnd:
+      for (const Expr& c : expr.children) {
+        if (!eval_predicate(c, row)) return false;
+      }
+      return true;
+    case Expr::Kind::kOr:
+      for (const Expr& c : expr.children) {
+        if (eval_predicate(c, row)) return true;
+      }
+      return false;
+    case Expr::Kind::kNot:
+      return !eval_predicate(expr.children.front(), row);
+  }
+  return false;
+}
+
+void validate_expr(const Expr& expr, const Schema& schema) {
+  switch (expr.kind) {
+    case Expr::Kind::kCmp: {
+      if (expr.col >= schema.size()) {
+        throw std::invalid_argument("predicate column " +
+                                    std::to_string(expr.col) +
+                                    " out of range for {" + schema.to_string() + "}");
+      }
+      if (schema.cols[expr.col].type != expr.literal.type) {
+        throw std::invalid_argument(
+            std::string("predicate literal is ") +
+            col_type_name(expr.literal.type) + " but column " +
+            schema.cols[expr.col].name + " is " +
+            col_type_name(schema.cols[expr.col].type));
+      }
+      return;
+    }
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      if (expr.children.empty()) {
+        throw std::invalid_argument("and/or needs at least one child");
+      }
+      for (const Expr& c : expr.children) validate_expr(c, schema);
+      return;
+    case Expr::Kind::kNot:
+      if (expr.children.size() != 1) {
+        throw std::invalid_argument("not needs exactly one child");
+      }
+      validate_expr(expr.children.front(), schema);
+      return;
+  }
+}
+
+PlanPtr scan(std::string table) {
+  auto p = std::make_unique<Plan>();
+  p->kind = Plan::Kind::kScan;
+  p->table = std::move(table);
+  return p;
+}
+
+PlanPtr filter(PlanPtr child, Expr pred) {
+  auto p = std::make_unique<Plan>();
+  p->kind = Plan::Kind::kFilter;
+  p->child = std::move(child);
+  p->pred = std::move(pred);
+  return p;
+}
+
+PlanPtr project(PlanPtr child, std::vector<uint32_t> cols) {
+  auto p = std::make_unique<Plan>();
+  p->kind = Plan::Kind::kProject;
+  p->child = std::move(child);
+  p->cols = std::move(cols);
+  return p;
+}
+
+PlanPtr hash_join(PlanPtr left, PlanPtr right, uint32_t left_key,
+                  uint32_t right_key) {
+  auto p = std::make_unique<Plan>();
+  p->kind = Plan::Kind::kJoin;
+  p->child = std::move(left);
+  p->right = std::move(right);
+  p->left_key = left_key;
+  p->right_key = right_key;
+  return p;
+}
+
+PlanPtr group_by(PlanPtr child, std::vector<uint32_t> keys,
+                 std::vector<AggSpec> aggs) {
+  auto p = std::make_unique<Plan>();
+  p->kind = Plan::Kind::kGroupBy;
+  p->child = std::move(child);
+  p->keys = std::move(keys);
+  p->aggs = std::move(aggs);
+  return p;
+}
+
+namespace {
+
+void check_col(uint32_t col, const Schema& schema, const char* what) {
+  if (col >= schema.size()) {
+    throw std::invalid_argument(std::string(what) + " column " +
+                                std::to_string(col) + " out of range for {" +
+                                schema.to_string() + "}");
+  }
+}
+
+std::string agg_col_name(const AggSpec& agg, const Schema& in) {
+  switch (agg.kind) {
+    case AggKind::kCount: return "cnt";
+    case AggKind::kSum: return "sum_" + in.cols[agg.col].name;
+    case AggKind::kMin: return "min_" + in.cols[agg.col].name;
+    case AggKind::kMax: return "max_" + in.cols[agg.col].name;
+  }
+  return "?";
+}
+
+}  // namespace
+
+Schema output_schema(const Plan& plan, const Catalog& catalog) {
+  switch (plan.kind) {
+    case Plan::Kind::kScan:
+      return catalog.at(plan.table).schema;
+
+    case Plan::Kind::kFilter: {
+      Schema in = output_schema(*plan.child, catalog);
+      validate_expr(plan.pred, in);
+      return in;
+    }
+
+    case Plan::Kind::kProject: {
+      Schema in = output_schema(*plan.child, catalog);
+      if (plan.cols.empty()) {
+        throw std::invalid_argument("project needs at least one column");
+      }
+      Schema out;
+      for (uint32_t c : plan.cols) {
+        check_col(c, in, "project");
+        out.cols.push_back(in.cols[c]);
+      }
+      return out;
+    }
+
+    case Plan::Kind::kJoin: {
+      Schema left = output_schema(*plan.child, catalog);
+      Schema right = output_schema(*plan.right, catalog);
+      check_col(plan.left_key, left, "left join key");
+      check_col(plan.right_key, right, "right join key");
+      if (left.cols[plan.left_key].type != right.cols[plan.right_key].type) {
+        throw std::invalid_argument(
+            std::string("join key types differ: ") +
+            col_type_name(left.cols[plan.left_key].type) + " vs " +
+            col_type_name(right.cols[plan.right_key].type));
+      }
+      Schema out;
+      for (const Column& c : left.cols) out.cols.push_back({"l." + c.name, c.type});
+      for (const Column& c : right.cols) out.cols.push_back({"r." + c.name, c.type});
+      return out;
+    }
+
+    case Plan::Kind::kGroupBy: {
+      Schema in = output_schema(*plan.child, catalog);
+      if (plan.keys.empty()) {
+        throw std::invalid_argument("group_by needs at least one key column");
+      }
+      if (plan.aggs.empty()) {
+        throw std::invalid_argument("group_by needs at least one aggregate");
+      }
+      Schema out;
+      for (uint32_t k : plan.keys) {
+        check_col(k, in, "group key");
+        out.cols.push_back(in.cols[k]);
+      }
+      for (const AggSpec& agg : plan.aggs) {
+        if (agg.kind != AggKind::kCount) check_col(agg.col, in, "aggregate");
+        ColType out_type = ColType::kI64;
+        switch (agg.kind) {
+          case AggKind::kCount:
+            out_type = ColType::kI64;
+            break;
+          case AggKind::kSum: {
+            const ColType t = in.cols[agg.col].type;
+            if (t == ColType::kStr) {
+              throw std::invalid_argument("sum over string column " +
+                                          in.cols[agg.col].name);
+            }
+            out_type = t;
+            break;
+          }
+          case AggKind::kMin:
+          case AggKind::kMax:
+            out_type = in.cols[agg.col].type;
+            break;
+        }
+        out.cols.push_back({agg_col_name(agg, in), out_type});
+      }
+      return out;
+    }
+  }
+  throw std::invalid_argument("unknown plan kind");
+}
+
+namespace {
+
+void collect_tables(const Plan& plan, std::vector<std::string>* out) {
+  if (plan.kind == Plan::Kind::kScan) {
+    if (std::find(out->begin(), out->end(), plan.table) == out->end()) {
+      out->push_back(plan.table);
+    }
+    return;
+  }
+  if (plan.child) collect_tables(*plan.child, out);
+  if (plan.right) collect_tables(*plan.right, out);
+}
+
+}  // namespace
+
+std::vector<std::string> scan_tables(const Plan& plan) {
+  std::vector<std::string> out;
+  collect_tables(plan, &out);
+  return out;
+}
+
+}  // namespace hamr::query

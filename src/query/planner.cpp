@@ -1,0 +1,259 @@
+#include "query/planner.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "query/exec.h"
+
+namespace hamr::query {
+
+StagedTables stage_tables(cluster::Cluster& cluster, const Catalog& catalog,
+                          const std::vector<std::string>& tables,
+                          const std::string& tag) {
+  StagedTables staged;
+  staged.prefix = "input/query/" + tag + "/";
+  staged.nodes = cluster.size();
+  for (const std::string& name : tables) {
+    const Table& table = catalog.at(name);
+    std::vector<uint64_t>& bytes = staged.shard_bytes[name];
+    bytes.resize(staged.nodes);
+    for (uint32_t n = 0; n < staged.nodes; ++n) {
+      const std::string shard = encode_table_shard(table, n, staged.nodes);
+      bytes[n] = shard.size();
+      cluster.node(n).store().write_file(staged.path_of(name), shard);
+    }
+  }
+  return staged;
+}
+
+namespace {
+
+// Recursive lowering context: the graph/inputs under construction plus the
+// staged-table map for split generation.
+struct LowerCtx {
+  const Catalog& catalog;
+  const StagedTables& staged;
+  engine::FlowletGraph graph;
+  engine::JobInputs inputs;
+};
+
+engine::FlowletId lower_node(const Plan& plan, EmitSpec emit, LowerCtx& ctx);
+
+Schema schema_of(const Plan& plan, const Catalog& catalog) {
+  return output_schema(plan, catalog);
+}
+
+engine::FlowletId lower_scan_chain(const Plan& base, RowPipeline pipeline,
+                                   EmitSpec emit, LowerCtx& ctx) {
+  auto compiled = std::make_shared<ScanCompiled>();
+  compiled->table_schema = ctx.catalog.at(base.table).schema;
+  compiled->pipeline = std::move(pipeline);
+  compiled->emit = std::move(emit);
+
+  const engine::FlowletId loader = ctx.graph.add_loader(
+      "QueryScan(" + base.table + ")", make_scan_loader(compiled));
+  const auto& bytes = ctx.staged.shard_bytes.at(base.table);
+  for (uint32_t n = 0; n < ctx.staged.nodes; ++n) {
+    engine::InputSplit split;
+    split.path = ctx.staged.path_of(base.table);
+    split.offset = 0;
+    split.length = bytes[n];
+    split.preferred_node = n;
+    ctx.inputs.add(loader, split);
+  }
+  return loader;
+}
+
+engine::FlowletId lower_join(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
+  auto compiled = std::make_shared<JoinCompiled>();
+  compiled->left_schema = schema_of(*plan.child, ctx.catalog);
+  compiled->right_schema = schema_of(*plan.right, ctx.catalog);
+  compiled->emit = std::move(emit);
+
+  const engine::FlowletId join =
+      ctx.graph.add_reduce("QueryHashJoin", make_join(compiled));
+
+  EmitSpec left_emit;
+  left_emit.mode = EmitSpec::Mode::kJoinSide;
+  left_emit.schema = compiled->left_schema;
+  left_emit.key_col = plan.left_key;
+  left_emit.side = 0;
+  const engine::FlowletId left = lower_node(*plan.child, left_emit, ctx);
+  ctx.graph.connect(left, join);
+
+  EmitSpec right_emit;
+  right_emit.mode = EmitSpec::Mode::kJoinSide;
+  right_emit.schema = compiled->right_schema;
+  right_emit.key_col = plan.right_key;
+  right_emit.side = 1;
+  const engine::FlowletId right = lower_node(*plan.right, right_emit, ctx);
+  ctx.graph.connect(right, join);
+  return join;
+}
+
+engine::FlowletId lower_group_by(const Plan& plan, EmitSpec emit,
+                                 LowerCtx& ctx) {
+  auto g = std::make_shared<GroupCompiled>();
+  g->key_cols = plan.keys;
+  g->aggs = plan.aggs;
+  g->in_schema = schema_of(*plan.child, ctx.catalog);
+  g->out_schema = schema_of(plan, ctx.catalog);
+  for (uint32_t k : plan.keys) g->key_types.push_back(g->in_schema.cols[k].type);
+
+  const engine::FlowletId group = ctx.graph.add_partial_reduce(
+      "QueryGroupBy", make_group_by(g, std::move(emit)));
+
+  EmitSpec child_emit;
+  child_emit.mode = EmitSpec::Mode::kGroupState;
+  child_emit.schema = g->in_schema;
+  child_emit.group = g;
+  const engine::FlowletId child = lower_node(*plan.child, child_emit, ctx);
+  // Sender-side combining: single-row states merge into per-key partials
+  // before bins are packed, so hot keys cross the wire pre-aggregated.
+  engine::EdgeOptions options;
+  options.combine = true;
+  ctx.graph.connect(child, group, options);
+  return group;
+}
+
+engine::FlowletId lower_node(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
+  // Peel the filter/project chain above the next shuffle (or scan): the
+  // steps fuse into whatever flowlet produces the chain's input rows.
+  RowPipeline pipeline;
+  const Plan* node = &plan;
+  while (node->kind == Plan::Kind::kFilter ||
+         node->kind == Plan::Kind::kProject) {
+    RowPipeline::Step step;
+    if (node->kind == Plan::Kind::kFilter) {
+      step.is_filter = true;
+      step.pred = node->pred;
+    } else {
+      step.cols = node->cols;
+    }
+    pipeline.steps.insert(pipeline.steps.begin(), std::move(step));
+    node = node->child.get();
+  }
+
+  switch (node->kind) {
+    case Plan::Kind::kScan:
+      return lower_scan_chain(*node, std::move(pipeline), std::move(emit), ctx);
+
+    case Plan::Kind::kJoin:
+    case Plan::Kind::kGroupBy: {
+      const bool is_join = node->kind == Plan::Kind::kJoin;
+      if (pipeline.steps.empty()) {
+        return is_join ? lower_join(*node, std::move(emit), ctx)
+                       : lower_group_by(*node, std::move(emit), ctx);
+      }
+      // Fused map fed over a local edge: the base's output rows are already
+      // partitioned however its own shuffle left them, and filter/project
+      // are row-local, so no network hop is needed.
+      auto compiled = std::make_shared<MapCompiled>();
+      compiled->in_schema = schema_of(*node, ctx.catalog);
+      compiled->pipeline = std::move(pipeline);
+      compiled->emit = std::move(emit);
+      const engine::FlowletId map =
+          ctx.graph.add_map("QueryFusedMap", make_fused_map(compiled));
+
+      EmitSpec base_emit;
+      base_emit.mode = EmitSpec::Mode::kLocalRow;
+      base_emit.schema = compiled->in_schema;
+      const engine::FlowletId base =
+          is_join ? lower_join(*node, base_emit, ctx)
+                  : lower_group_by(*node, base_emit, ctx);
+      ctx.graph.connect(base, map, engine::local_edge());
+      return map;
+    }
+
+    case Plan::Kind::kFilter:
+    case Plan::Kind::kProject:
+      break;  // unreachable: peeled above
+  }
+  throw std::invalid_argument("unreachable plan kind in lowering");
+}
+
+}  // namespace
+
+Lowered lower(const Plan& plan, const Catalog& catalog,
+              const StagedTables& staged, const std::string& tag) {
+  Lowered lowered;
+  lowered.out_schema = output_schema(plan, catalog);  // validates the tree
+  lowered.out_prefix = "out/query/" + tag + "/";
+
+  LowerCtx ctx{catalog, staged, {}, {}};
+  const engine::FlowletId sink =
+      ctx.graph.add_map("QuerySink", make_sink(lowered.out_prefix));
+
+  EmitSpec top_emit;
+  top_emit.mode = EmitSpec::Mode::kLocalRow;
+  top_emit.schema = lowered.out_schema;
+  const engine::FlowletId top = lower_node(plan, top_emit, ctx);
+  ctx.graph.connect(top, sink, engine::local_edge());
+
+  lowered.graph = std::move(ctx.graph);
+  lowered.inputs = std::move(ctx.inputs);
+  return lowered;
+}
+
+std::string collect_output_payload(cluster::Cluster& cluster,
+                                   const std::string& out_prefix) {
+  std::string payload;
+  for (uint32_t n = 0; n < cluster.size(); ++n) {
+    auto result = cluster.node(n).store().read_file(
+        out_prefix + "node" + std::to_string(n));
+    if (result.ok()) payload += result.value();
+  }
+  return payload;
+}
+
+std::vector<Row> decode_payload(const Schema& schema,
+                                std::string_view payload) {
+  std::vector<Row> rows;
+  size_t pos = 0;
+  while (pos < payload.size()) {
+    size_t eol = payload.find('\n', pos);
+    if (eol == std::string_view::npos) eol = payload.size();
+    if (eol > pos) {
+      rows.push_back(
+          schema.decode_row(from_hex(payload.substr(pos, eol - pos))));
+    }
+    pos = eol + 1;
+  }
+  return rows;
+}
+
+std::vector<Row> run_on_engine(engine::Engine& engine, const Plan& plan,
+                               const Catalog& catalog, const std::string& tag) {
+  const StagedTables staged =
+      stage_tables(engine.cluster(), catalog, scan_tables(plan), tag);
+  Lowered lowered = lower(plan, catalog, staged, tag);
+  engine.run(lowered.graph, lowered.inputs);
+  return decode_payload(
+      lowered.out_schema,
+      collect_output_payload(engine.cluster(), lowered.out_prefix));
+}
+
+SubmittedQuery submit_query(service::JobService& service,
+                            cluster::Cluster& cluster, const Plan& plan,
+                            const Catalog& catalog,
+                            const service::JobSpec& spec,
+                            const std::string& tag) {
+  const StagedTables staged =
+      stage_tables(cluster, catalog, scan_tables(plan), tag);
+  Lowered lowered = lower(plan, catalog, staged, tag);
+
+  service::JobWork work;
+  work.graph = std::move(lowered.graph);
+  work.inputs = std::move(lowered.inputs);
+  const std::string out_prefix = lowered.out_prefix;
+  work.collect = [out_prefix](engine::Engine& engine) {
+    return collect_output_payload(engine.cluster(), out_prefix);
+  };
+
+  SubmittedQuery submitted;
+  submitted.out_schema = std::move(lowered.out_schema);
+  submitted.ticket = service.submit(spec, std::move(work));
+  return submitted;
+}
+
+}  // namespace hamr::query

@@ -1,0 +1,88 @@
+// Planner: lowers a logical plan to a flowlet DAG and runs it - directly on
+// an Engine (tests, chaos suite) or submitted through the multi-tenant
+// JobService (benches, serving traffic). See DESIGN.md §13 for the lowering
+// rules; exec.h holds the physical operators.
+//
+// Life of a query:
+//   1. stage_tables()  - deal each scanned table's rows round-robin across
+//                        the nodes and write one framed-row shard file per
+//                        node into its local store (the DFS-resident-input
+//                        analog: scans read node-local disks, paper §5.1);
+//   2. lower()         - recursively compile the plan tree into a
+//                        FlowletGraph + JobInputs. Filter/project chains
+//                        fuse into the flowlet below them (the scan loader
+//                        when the base is a scan, a single local-edge map
+//                        otherwise); joins and group-bys become shuffle
+//                        stages; a sink map collects final rows per node;
+//   3. run             - Engine::run or JobService::submit; the job's
+//                        collect() merges every node's sink file into the
+//                        ticket payload;
+//   4. decode_payload  - hex lines back into typed rows.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "engine/engine.h"
+#include "query/plan.h"
+#include "service/job_service.h"
+
+namespace hamr::query {
+
+// Where a query's input tables were staged: one shard file per node at
+// "input/query/<tag>/<table>", shard i holding rows i mod nodes.
+struct StagedTables {
+  std::string prefix;  // "input/query/<tag>/"
+  uint32_t nodes = 0;
+  // Per-table shard sizes in bytes, indexed by node.
+  std::map<std::string, std::vector<uint64_t>> shard_bytes;
+
+  std::string path_of(const std::string& table) const { return prefix + table; }
+};
+
+StagedTables stage_tables(cluster::Cluster& cluster, const Catalog& catalog,
+                          const std::vector<std::string>& tables,
+                          const std::string& tag);
+
+struct Lowered {
+  engine::FlowletGraph graph;
+  engine::JobInputs inputs;
+  Schema out_schema;
+  std::string out_prefix;  // "out/query/<tag>/"
+};
+
+// Validates the plan (throws std::invalid_argument like output_schema) and
+// compiles it against tables previously staged under the same catalog.
+Lowered lower(const Plan& plan, const Catalog& catalog,
+              const StagedTables& staged, const std::string& tag);
+
+// Concatenated sink files (hex rows, one per line) of every node.
+std::string collect_output_payload(cluster::Cluster& cluster,
+                                   const std::string& out_prefix);
+
+std::vector<Row> decode_payload(const Schema& schema, std::string_view payload);
+
+// One-shot engine path: stage + lower + Engine::run + collect. `tag` keys
+// the staged inputs and output files, so back-to-back queries on one
+// cluster must use distinct tags.
+std::vector<Row> run_on_engine(engine::Engine& engine, const Plan& plan,
+                               const Catalog& catalog, const std::string& tag);
+
+// Service path: stage + lower + JobService::submit. The returned ticket's
+// payload() (valid once kDone) decodes with decode_payload(out_schema, ...).
+struct SubmittedQuery {
+  std::shared_ptr<service::JobTicket> ticket;
+  Schema out_schema;
+};
+
+SubmittedQuery submit_query(service::JobService& service,
+                            cluster::Cluster& cluster, const Plan& plan,
+                            const Catalog& catalog,
+                            const service::JobSpec& spec,
+                            const std::string& tag);
+
+}  // namespace hamr::query

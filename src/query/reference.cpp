@@ -1,0 +1,187 @@
+#include "query/reference.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hamr::query {
+
+namespace {
+
+struct Evaluated {
+  Schema schema;
+  std::vector<Row> rows;
+};
+
+Evaluated eval(const Plan& plan, const Catalog& catalog);
+
+Evaluated eval_join(const Plan& plan, const Catalog& catalog) {
+  Evaluated left = eval(*plan.child, catalog);
+  Evaluated right = eval(*plan.right, catalog);
+
+  // Build on the left, probe with the right; keys match on encoded bytes.
+  std::unordered_multimap<std::string, const Row*> build;
+  build.reserve(left.rows.size());
+  const std::vector<uint32_t> lkey{plan.left_key};
+  const std::vector<uint32_t> rkey{plan.right_key};
+  for (const Row& l : left.rows) build.emplace(encode_key(l, lkey), &l);
+
+  Evaluated out;
+  out.schema = output_schema(plan, catalog);
+  for (const Row& r : right.rows) {
+    const auto [begin, end] = build.equal_range(encode_key(r, rkey));
+    for (auto it = begin; it != end; ++it) {
+      Row joined = *it->second;
+      joined.insert(joined.end(), r.begin(), r.end());
+      out.rows.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+// One group's running aggregates, updated a row at a time.
+struct GroupAcc {
+  Row key;  // the group's key column values
+  uint64_t count = 0;
+  std::vector<uint64_t> sum_i;  // wrapping, one per agg (unused slots stay 0)
+  std::vector<double> sum_f;
+  std::vector<Value> minmax;
+  std::vector<bool> has_minmax;
+};
+
+Evaluated eval_group_by(const Plan& plan, const Catalog& catalog) {
+  Evaluated in = eval(*plan.child, catalog);
+  const size_t naggs = plan.aggs.size();
+
+  std::unordered_map<std::string, GroupAcc> groups;
+  for (const Row& row : in.rows) {
+    GroupAcc& acc = groups[encode_key(row, plan.keys)];
+    if (acc.count == 0 && acc.key.empty()) {
+      for (uint32_t k : plan.keys) acc.key.push_back(row[k]);
+      acc.sum_i.assign(naggs, 0);
+      acc.sum_f.assign(naggs, 0);
+      acc.minmax.assign(naggs, Value{});
+      acc.has_minmax.assign(naggs, false);
+    }
+    ++acc.count;
+    for (size_t a = 0; a < naggs; ++a) {
+      const AggSpec& agg = plan.aggs[a];
+      switch (agg.kind) {
+        case AggKind::kCount:
+          break;  // acc.count covers it
+        case AggKind::kSum: {
+          const Value& v = row[agg.col];
+          if (v.type == ColType::kI64) {
+            acc.sum_i[a] += static_cast<uint64_t>(v.i);
+          } else {
+            acc.sum_f[a] += v.f;
+          }
+          break;
+        }
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          const Value& v = row[agg.col];
+          if (!acc.has_minmax[a]) {
+            acc.minmax[a] = v;
+            acc.has_minmax[a] = true;
+            break;
+          }
+          bool take = false;
+          switch (v.type) {
+            case ColType::kI64: take = v.i < acc.minmax[a].i; break;
+            case ColType::kF64: take = v.f < acc.minmax[a].f; break;
+            case ColType::kStr: take = v.s < acc.minmax[a].s; break;
+          }
+          if (agg.kind == AggKind::kMax) take = !take && !(v == acc.minmax[a]);
+          if (take) acc.minmax[a] = v;
+          break;
+        }
+      }
+    }
+  }
+
+  Evaluated out;
+  out.schema = output_schema(plan, catalog);
+  out.rows.reserve(groups.size());
+  for (auto& [key_bytes, acc] : groups) {
+    (void)key_bytes;
+    Row row = std::move(acc.key);
+    for (size_t a = 0; a < naggs; ++a) {
+      const AggSpec& agg = plan.aggs[a];
+      switch (agg.kind) {
+        case AggKind::kCount:
+          row.push_back(Value::of(static_cast<int64_t>(acc.count)));
+          break;
+        case AggKind::kSum:
+          if (in.schema.cols[agg.col].type == ColType::kI64) {
+            row.push_back(Value::of(static_cast<int64_t>(acc.sum_i[a])));
+          } else {
+            row.push_back(Value::of(acc.sum_f[a]));
+          }
+          break;
+        case AggKind::kMin:
+        case AggKind::kMax:
+          row.push_back(acc.minmax[a]);
+          break;
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+Evaluated eval(const Plan& plan, const Catalog& catalog) {
+  switch (plan.kind) {
+    case Plan::Kind::kScan: {
+      const Table& table = catalog.at(plan.table);
+      return {table.schema, table.rows};
+    }
+
+    case Plan::Kind::kFilter: {
+      Evaluated in = eval(*plan.child, catalog);
+      Evaluated out;
+      out.schema = in.schema;
+      for (Row& row : in.rows) {
+        if (eval_predicate(plan.pred, row)) out.rows.push_back(std::move(row));
+      }
+      return out;
+    }
+
+    case Plan::Kind::kProject: {
+      Evaluated in = eval(*plan.child, catalog);
+      Evaluated out;
+      out.schema = output_schema(plan, catalog);
+      for (const Row& row : in.rows) {
+        Row projected;
+        projected.reserve(plan.cols.size());
+        for (uint32_t c : plan.cols) projected.push_back(row[c]);
+        out.rows.push_back(std::move(projected));
+      }
+      return out;
+    }
+
+    case Plan::Kind::kJoin:
+      return eval_join(plan, catalog);
+
+    case Plan::Kind::kGroupBy:
+      return eval_group_by(plan, catalog);
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Row> reference_eval(const Plan& plan, const Catalog& catalog) {
+  output_schema(plan, catalog);  // validate first; throws on a bad plan
+  return eval(plan, catalog).rows;
+}
+
+std::vector<std::string> canonical(const Schema& schema,
+                                   const std::vector<Row>& rows) {
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const Row& row : rows) out.push_back(schema.encode_row(row));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hamr::query

@@ -1,0 +1,216 @@
+#include "query/row.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace hamr::query {
+
+const char* col_type_name(ColType type) {
+  switch (type) {
+    case ColType::kI64: return "i64";
+    case ColType::kF64: return "f64";
+    case ColType::kStr: return "str";
+  }
+  return "?";
+}
+
+Value Value::of(int64_t v) {
+  Value value;
+  value.type = ColType::kI64;
+  value.i = v;
+  return value;
+}
+
+Value Value::of(double v) {
+  Value value;
+  value.type = ColType::kF64;
+  value.f = v;
+  return value;
+}
+
+Value Value::of(std::string v) {
+  Value value;
+  value.type = ColType::kStr;
+  value.s = std::move(v);
+  return value;
+}
+
+int64_t Value::as_i64() const {
+  if (type != ColType::kI64) throw std::invalid_argument("value is not i64");
+  return i;
+}
+
+double Value::as_f64() const {
+  if (type != ColType::kF64) throw std::invalid_argument("value is not f64");
+  return f;
+}
+
+const std::string& Value::as_str() const {
+  if (type != ColType::kStr) throw std::invalid_argument("value is not str");
+  return s;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (type != other.type) return false;
+  switch (type) {
+    case ColType::kI64: return i == other.i;
+    case ColType::kF64: {
+      uint64_t a, b;
+      std::memcpy(&a, &f, 8);
+      std::memcpy(&b, &other.f, 8);
+      return a == b;
+    }
+    case ColType::kStr: return s == other.s;
+  }
+  return false;
+}
+
+int Schema::index_of(std::string_view name) const {
+  for (size_t c = 0; c < cols.size(); ++c) {
+    if (cols[c].name == name) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+namespace {
+
+void encode_value(const Value& value, ColType expect, serde::Writer* writer) {
+  if (value.type != expect) {
+    throw std::invalid_argument(std::string("row value is ") +
+                                col_type_name(value.type) + ", schema says " +
+                                col_type_name(expect));
+  }
+  switch (expect) {
+    case ColType::kI64:
+      writer->put_zigzag(value.i);
+      break;
+    case ColType::kF64:
+      writer->put_double(value.f);
+      break;
+    case ColType::kStr:
+      writer->put_bytes(value.s);
+      break;
+  }
+}
+
+Value decode_value(ColType type, serde::Reader* reader) {
+  switch (type) {
+    case ColType::kI64: return Value::of(reader->get_zigzag());
+    case ColType::kF64: return Value::of(reader->get_double());
+    case ColType::kStr: return Value::of(std::string(reader->get_bytes()));
+  }
+  throw serde::DecodeError("unknown column type");
+}
+
+}  // namespace
+
+void Schema::encode_row(const Row& row, serde::Writer* writer) const {
+  if (row.size() != cols.size()) {
+    throw std::invalid_argument("row arity " + std::to_string(row.size()) +
+                                " vs schema arity " + std::to_string(cols.size()));
+  }
+  for (size_t c = 0; c < cols.size(); ++c) {
+    encode_value(row[c], cols[c].type, writer);
+  }
+}
+
+std::string Schema::encode_row(const Row& row) const {
+  ByteBuffer buf;
+  serde::Writer writer(buf);
+  encode_row(row, &writer);
+  return std::string(buf.view());
+}
+
+Row Schema::decode_row(serde::Reader* reader) const {
+  Row row;
+  row.reserve(cols.size());
+  for (const Column& col : cols) row.push_back(decode_value(col.type, reader));
+  return row;
+}
+
+Row Schema::decode_row(std::string_view bytes) const {
+  serde::Reader reader(bytes);
+  Row row = decode_row(&reader);
+  if (!reader.at_end()) {
+    throw serde::DecodeError("trailing bytes after row: " +
+                             std::to_string(reader.remaining()));
+  }
+  return row;
+}
+
+std::string Schema::to_string() const {
+  std::string out;
+  for (const Column& col : cols) {
+    if (!out.empty()) out += ", ";
+    out += col.name;
+    out += ':';
+    out += col_type_name(col.type);
+  }
+  return out;
+}
+
+void encode_key_value(const Value& value, serde::Writer* writer) {
+  writer->put_u8(static_cast<uint8_t>(value.type));
+  encode_value(value, value.type, writer);
+}
+
+std::string encode_key(const Row& row, const std::vector<uint32_t>& cols) {
+  ByteBuffer buf;
+  serde::Writer writer(buf);
+  for (uint32_t c : cols) encode_key_value(row.at(c), &writer);
+  return std::string(buf.view());
+}
+
+Row decode_key(std::string_view bytes, const std::vector<ColType>& types) {
+  serde::Reader reader(bytes);
+  Row row;
+  row.reserve(types.size());
+  for (ColType type : types) {
+    const uint8_t tag = reader.get_u8();
+    if (tag != static_cast<uint8_t>(type)) {
+      throw serde::DecodeError("key type tag mismatch");
+    }
+    row.push_back(decode_value(type, &reader));
+  }
+  if (!reader.at_end()) throw serde::DecodeError("trailing bytes after key");
+  return row;
+}
+
+std::string to_hex(std::string_view bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("odd hex length");
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw std::invalid_argument("bad hex digit");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace hamr::query

@@ -16,12 +16,6 @@ using namespace hamr;
 
 namespace {
 
-std::vector<std::string> make_shards(uint32_t n,
-                                     const std::function<std::string(uint32_t)>& fn) {
-  std::vector<std::string> shards;
-  for (uint32_t i = 0; i < n; ++i) shards.push_back(fn(i));
-  return shards;
-}
 
 }  // namespace
 
@@ -29,7 +23,7 @@ TEST(AppsIntegration, WordCount) {
   apps::BenchEnv env = apps::BenchEnv::fast(4);
   gen::TextSpec spec;
   spec.total_bytes = 128 * 1024;
-  auto shards = make_shards(env.nodes(),
+  auto shards = apps::make_shards(env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
   auto staged = apps::stage_input(env, "wc", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -44,7 +38,7 @@ TEST(AppsIntegration, WordCountWithCombinerAndFullReduce) {
   apps::BenchEnv env = apps::BenchEnv::fast(3);
   gen::TextSpec spec;
   spec.total_bytes = 96 * 1024;
-  auto shards = make_shards(env.nodes(),
+  auto shards = apps::make_shards(env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 3); });
   auto staged = apps::stage_input(env, "wc", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -63,7 +57,7 @@ TEST(AppsIntegration, HistogramMovies) {
   apps::BenchEnv env = apps::BenchEnv::fast(4);
   gen::MoviesSpec spec;
   spec.total_bytes = 128 * 1024;
-  auto shards = make_shards(env.nodes(),
+  auto shards = apps::make_shards(env.nodes(),
                             [&](uint32_t i) { return gen::movies_shard(spec, i, 4); });
   auto staged = apps::stage_input(env, "hm", shards, 16 * 1024);
   const auto expected =
@@ -81,7 +75,7 @@ TEST(AppsIntegration, HistogramRatings) {
   apps::BenchEnv env = apps::BenchEnv::fast(4);
   gen::MoviesSpec spec;
   spec.total_bytes = 128 * 1024;
-  auto shards = make_shards(env.nodes(),
+  auto shards = apps::make_shards(env.nodes(),
                             [&](uint32_t i) { return gen::movies_shard(spec, i, 4); });
   auto staged = apps::stage_input(env, "hr", shards, 16 * 1024);
   const auto expected =
@@ -106,7 +100,7 @@ TEST(AppsIntegration, NaiveBayes) {
   apps::BenchEnv env = apps::BenchEnv::fast(4);
   gen::DocsSpec spec;
   spec.total_bytes = 128 * 1024;
-  auto shards = make_shards(env.nodes(),
+  auto shards = apps::make_shards(env.nodes(),
                             [&](uint32_t i) { return gen::docs_shard(spec, i, 4); });
   auto staged = apps::stage_input(env, "nb", shards, 16 * 1024);
   const auto expected = apps::naive_bayes::reference(shards);
@@ -121,7 +115,7 @@ TEST(AppsIntegration, KMeans) {
   apps::BenchEnv env = apps::BenchEnv::fast(4);
   gen::MoviesSpec spec;
   spec.total_bytes = 192 * 1024;
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::movie_vectors_shard(spec, i, 4);
   });
   auto staged = apps::stage_input(env, "km", shards, 16 * 1024);
@@ -145,7 +139,7 @@ TEST(AppsIntegration, Classification) {
   apps::BenchEnv env = apps::BenchEnv::fast(4);
   gen::MoviesSpec spec;
   spec.total_bytes = 128 * 1024;
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::movie_vectors_shard(spec, i, 4);
   });
   auto staged = apps::stage_input(env, "cl", shards, 16 * 1024);
@@ -163,7 +157,7 @@ TEST(AppsIntegration, PageRank) {
   gen::WebGraphSpec spec;
   spec.num_pages = 512;
   spec.num_edges = 4096;
-  auto shards = make_shards(env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(env.nodes(), [&](uint32_t i) {
     return gen::web_graph_shard(spec, i, 4);
   });
   auto staged = apps::stage_input(env, "pr", shards, 16 * 1024);
@@ -199,7 +193,7 @@ TEST(AppsIntegration, KCliques) {
   gen::RmatSpec spec;
   spec.scale = 7;       // 128 vertices
   spec.num_edges = 1500;  // dense enough for 4-cliques
-  auto shards = make_shards(env.nodes(),
+  auto shards = apps::make_shards(env.nodes(),
                             [&](uint32_t i) { return gen::rmat_shard(spec, i, 4); });
   auto staged = apps::stage_input(env, "kc", shards, 8 * 1024);
   apps::kcliques::Params params;

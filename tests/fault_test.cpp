@@ -18,6 +18,9 @@
 #include "gen/generators.h"
 #include "net/message.h"
 #include "obs/metrics_snapshot.h"
+#include "query/planner.h"
+#include "query/reference.h"
+#include "query/testgen.h"
 #include "stream/source.h"
 #include "stream/stream_service.h"
 #include "stream/window.h"
@@ -26,12 +29,6 @@ using namespace hamr;
 
 namespace {
 
-std::vector<std::string> make_shards(uint32_t n,
-                                     const std::function<std::string(uint32_t)>& fn) {
-  std::vector<std::string> shards;
-  for (uint32_t i = 0; i < n; ++i) shards.push_back(fn(i));
-  return shards;
-}
 
 // A chaos-rigged 4-node correctness environment: cost models off, injector
 // wired into the transport, every disk, and the engine runtime.
@@ -167,7 +164,7 @@ TEST(Chaos, WordCountSurvivesMessageChaosByteIdentical) {
                                          /*crash_rate=*/0.02));
   gen::TextSpec spec;
   spec.total_bytes = 96 * 1024;
-  auto shards = make_shards(chaos.env.nodes(),
+  auto shards = apps::make_shards(chaos.env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
   auto staged = apps::stage_input(chaos.env, "wc_chaos", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -189,7 +186,7 @@ TEST(Chaos, DroppedFramesAreRetransmittedUntilAcked) {
 
   gen::TextSpec spec;
   spec.total_bytes = 64 * 1024;
-  auto shards = make_shards(chaos.env.nodes(),
+  auto shards = apps::make_shards(chaos.env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
   auto staged = apps::stage_input(chaos.env, "wc_drop", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -222,7 +219,7 @@ TEST(Chaos, WordCountFullReduceSurvivesCrashAndDiskChaos) {
 
   gen::TextSpec spec;
   spec.total_bytes = 96 * 1024;
-  auto shards = make_shards(chaos.env.nodes(),
+  auto shards = apps::make_shards(chaos.env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
   auto staged = apps::stage_input(chaos.env, "wc_spill", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -239,7 +236,7 @@ TEST(Chaos, PageRankSurvivesChaosWithIdenticalRanks) {
   gen::WebGraphSpec spec;
   spec.num_pages = 256;
   spec.num_edges = 2048;
-  auto shards = make_shards(chaos.env.nodes(), [&](uint32_t i) {
+  auto shards = apps::make_shards(chaos.env.nodes(), [&](uint32_t i) {
     return gen::web_graph_shard(spec, i, 4);
   });
   auto staged = apps::stage_input(chaos.env, "pr_chaos", shards, 16 * 1024);
@@ -270,7 +267,7 @@ TEST(Chaos, ExplicitCrashPointsAreRetriedToCompletion) {
 
   gen::TextSpec spec;
   spec.total_bytes = 64 * 1024;
-  auto shards = make_shards(chaos.env.nodes(),
+  auto shards = apps::make_shards(chaos.env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
   auto staged = apps::stage_input(chaos.env, "wc_cp", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -287,7 +284,7 @@ TEST(Chaos, ZeroFaultPlanRunsCleanlyOverReliableChannel) {
   ChaosEnv chaos(fault::FaultPlan{});
   gen::TextSpec spec;
   spec.total_bytes = 64 * 1024;
-  auto shards = make_shards(chaos.env.nodes(),
+  auto shards = apps::make_shards(chaos.env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
   auto staged = apps::stage_input(chaos.env, "wc_zero", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -327,7 +324,7 @@ TEST(Chaos, ReliableShuffleFlagWorksWithoutInjector) {
       apps::BenchEnv::make(cluster::ClusterConfig::fast(3), cfg);
   gen::TextSpec spec;
   spec.total_bytes = 48 * 1024;
-  auto shards = make_shards(env.nodes(),
+  auto shards = apps::make_shards(env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 3); });
   auto staged = apps::stage_input(env, "wc_rel", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -342,7 +339,7 @@ TEST(Chaos, BackToBackJobsShareTheChannelState) {
   ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/3, /*msg_rate=*/0.05));
   gen::TextSpec spec;
   spec.total_bytes = 48 * 1024;
-  auto shards = make_shards(chaos.env.nodes(),
+  auto shards = apps::make_shards(chaos.env.nodes(),
                             [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
   auto staged = apps::stage_input(chaos.env, "wc_twice", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
@@ -368,7 +365,7 @@ TEST(Chaos, WordCountSurvivesChaosWithEightWorkerStealing) {
   gen::TextSpec spec;
   spec.total_bytes = 96 * 1024;
   auto shards =
-      make_shards(env.nodes(), [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+      apps::make_shards(env.nodes(), [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
   auto staged = apps::stage_input(env, "wc_chaos8", shards, 16 * 1024);
   const auto expected = apps::wordcount::reference(shards);
 
@@ -425,5 +422,29 @@ TEST(ChaosStream, WindowedWordCountStaysByteIdenticalUnderChaos) {
   ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/23, /*msg_rate=*/0.05,
                                          /*crash_rate=*/0.02));
   EXPECT_EQ(run(chaos.env), expected);
+  EXPECT_GT(chaos.injector.stats().total(), 0u);
+}
+
+TEST(ChaosQuery, JoinGroupByQueryStaysByteIdenticalUnderChaos) {
+  // Differential probe for the relational layer: a join + group-by query
+  // (two shuffle stages, sender-side combining on the fold) run under the
+  // standard 5% message chaos + 2% task-crash plan must produce EXACTLY the
+  // reference evaluator's rows. Aggregate states are commutative +
+  // associative merges (DESIGN.md §13), so retried tasks and pre-combined
+  // duplicates may reorder the fold but never change the bytes.
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/31, /*msg_rate=*/0.05,
+                                         /*crash_rate=*/0.02));
+
+  query::GeneratedQuery q = query::generate_query(query::Family::kJoinGroupBy,
+                                                  /*seed=*/7);
+  const query::Schema schema = query::output_schema(*q.plan, q.catalog);
+  const auto expected =
+      query::canonical(schema, query::reference_eval(*q.plan, q.catalog));
+  ASSERT_FALSE(expected.empty());
+
+  const auto got = query::canonical(
+      schema,
+      query::run_on_engine(*chaos.env.engine, *q.plan, q.catalog, "chaos_q"));
+  EXPECT_EQ(got, expected);
   EXPECT_GT(chaos.injector.stats().total(), 0u);
 }
