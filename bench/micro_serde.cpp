@@ -12,6 +12,7 @@
 #include "engine/bin.h"
 #include "engine/flat_table.h"
 #include "engine/runtime.h"
+#include "serde/batch.h"
 #include "serde/codec.h"
 #include "serde/serde.h"
 
@@ -227,5 +228,165 @@ static void BM_BinBuildPooled(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * 512 * (3 + value.size()));
 }
 BENCHMARK(BM_BinBuildPooled)->Arg(16)->Arg(256);
+
+// --- scalar vs batch codecs --------------------------------------------------
+//
+// Head-to-heads for the batch (vectorized) entry points in serde/batch.h:
+// fixed-width runs (one memcpy per run vs one put_fixed64/get_fixed64 per
+// value) and string runs (one bounds check per run vs one per value). The
+// row codec (query/row.cpp) and the sort record path ride the batch side.
+
+namespace {
+
+constexpr size_t kRunValues = 4096;
+
+std::vector<uint64_t> run_u64s() {
+  Rng rng(21);
+  std::vector<uint64_t> values(kRunValues);
+  for (auto& v : values) v = rng.next_u64();
+  return values;
+}
+
+std::vector<std::string> run_strings() {
+  Rng rng(22);
+  std::vector<std::string> values;
+  values.reserve(kRunValues);
+  for (size_t i = 0; i < kRunValues; ++i) {
+    values.push_back(std::string(8 + rng.next_below(24), '0' + i % 10));
+  }
+  return values;
+}
+
+}  // namespace
+
+static void BM_FixedRunEncodeScalar(benchmark::State& state) {
+  const auto values = run_u64s();
+  ByteBuffer buf(64 * 1024);
+  for (auto _ : state) {
+    buf.clear();
+    serde::Writer w(buf);
+    w.put_varint(values.size());
+    for (uint64_t v : values) w.put_fixed64(v);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kRunValues * 8);
+}
+BENCHMARK(BM_FixedRunEncodeScalar);
+
+static void BM_FixedRunEncodeBatch(benchmark::State& state) {
+  const auto values = run_u64s();
+  ByteBuffer buf(64 * 1024);
+  for (auto _ : state) {
+    buf.clear();
+    serde::Writer w(buf);
+    serde::put_u64_run(w, values);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kRunValues * 8);
+}
+BENCHMARK(BM_FixedRunEncodeBatch);
+
+static void BM_FixedRunDecodeScalar(benchmark::State& state) {
+  const auto values = run_u64s();
+  ByteBuffer buf(64 * 1024);
+  serde::Writer w(buf);
+  w.put_varint(values.size());
+  for (uint64_t v : values) w.put_fixed64(v);
+  for (auto _ : state) {
+    serde::Reader r(buf.view());
+    const uint64_t count = r.get_varint();
+    uint64_t sum = 0;
+    for (uint64_t i = 0; i < count; ++i) sum += r.get_fixed64();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetBytesProcessed(state.iterations() * kRunValues * 8);
+}
+BENCHMARK(BM_FixedRunDecodeScalar);
+
+static void BM_FixedRunDecodeBatch(benchmark::State& state) {
+  const auto values = run_u64s();
+  ByteBuffer buf(64 * 1024);
+  serde::Writer w(buf);
+  serde::put_u64_run(w, values);
+  std::vector<uint64_t> out;
+  for (auto _ : state) {
+    out.clear();
+    serde::Reader r(buf.view());
+    serde::get_u64_run(r, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * kRunValues * 8);
+}
+BENCHMARK(BM_FixedRunDecodeBatch);
+
+static void BM_StringRunEncodeScalar(benchmark::State& state) {
+  const auto values = run_strings();
+  uint64_t bytes = 0;
+  for (const auto& s : values) bytes += s.size();
+  ByteBuffer buf(256 * 1024);
+  for (auto _ : state) {
+    buf.clear();
+    serde::Writer w(buf);
+    w.put_varint(values.size());
+    for (const auto& s : values) w.put_bytes(s);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_StringRunEncodeScalar);
+
+static void BM_StringRunEncodeBatch(benchmark::State& state) {
+  const auto values = run_strings();
+  uint64_t bytes = 0;
+  for (const auto& s : values) bytes += s.size();
+  std::vector<std::string_view> views(values.begin(), values.end());
+  ByteBuffer buf(256 * 1024);
+  for (auto _ : state) {
+    buf.clear();
+    serde::Writer w(buf);
+    serde::put_string_run(w, views);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_StringRunEncodeBatch);
+
+static void BM_StringRunDecodeScalar(benchmark::State& state) {
+  const auto values = run_strings();
+  uint64_t bytes = 0;
+  for (const auto& s : values) bytes += s.size();
+  ByteBuffer buf(256 * 1024);
+  serde::Writer w(buf);
+  w.put_varint(values.size());
+  for (const auto& s : values) w.put_bytes(s);
+  for (auto _ : state) {
+    serde::Reader r(buf.view());
+    const uint64_t count = r.get_varint();
+    size_t total = 0;
+    for (uint64_t i = 0; i < count; ++i) total += r.get_bytes().size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_StringRunDecodeScalar);
+
+static void BM_StringRunDecodeBatch(benchmark::State& state) {
+  const auto values = run_strings();
+  uint64_t bytes = 0;
+  for (const auto& s : values) bytes += s.size();
+  std::vector<std::string_view> views(values.begin(), values.end());
+  ByteBuffer buf(256 * 1024);
+  serde::Writer w(buf);
+  serde::put_string_run(w, views);
+  std::vector<std::string_view> out;
+  for (auto _ : state) {
+    out.clear();
+    serde::Reader r(buf.view());
+    serde::get_string_run(r, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+}
+BENCHMARK(BM_StringRunDecodeBatch);
 
 BENCHMARK_MAIN();

@@ -12,9 +12,12 @@
 // atomic bump per acquire) feed `engine.pool_hits` / `engine.pool_misses`.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/metrics.h"
@@ -27,24 +30,40 @@ class BufferPool {
                       size_t max_buffer_bytes = 1024 * 1024)
       : max_buffers_(max_buffers), max_buffer_bytes_(max_buffer_bytes) {}
 
-  void set_metrics(Counter* hits, Counter* misses) {
+  void set_metrics(Counter* hits, Counter* misses, Gauge* hit_rate = nullptr) {
     hits_ = hits;
     misses_ = misses;
+    hit_rate_ = hit_rate;
   }
 
   // An empty string, reusing a pooled buffer's capacity when one is free.
   std::string acquire() {
+    bool hit = false;
+    std::string buf;
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!free_.empty()) {
-        std::string buf = std::move(free_.back());
+        buf = std::move(free_.back());
         free_.pop_back();
-        if (hits_ != nullptr) hits_->inc();
-        return buf;
+        hit = true;
       }
     }
-    if (misses_ != nullptr) misses_->inc();
-    return std::string();
+    if (hit) {
+      hits_n_.fetch_add(1, std::memory_order_relaxed);
+      if (hits_ != nullptr) hits_->inc();
+    } else {
+      misses_n_.fetch_add(1, std::memory_order_relaxed);
+      if (misses_ != nullptr) misses_->inc();
+    }
+    if (hit_rate_ != nullptr) hit_rate_->set(hit_rate_percent());
+    return buf;
+  }
+
+  // Recycled-capacity ratio over the pool's lifetime, in whole percent.
+  int64_t hit_rate_percent() const {
+    const uint64_t h = hits_n_.load(std::memory_order_relaxed);
+    const uint64_t total = h + misses_n_.load(std::memory_order_relaxed);
+    return total == 0 ? 0 : static_cast<int64_t>(h * 100 / total);
   }
 
   // Returns a buffer to the pool (cleared; capacity kept). Oversized or
@@ -67,8 +86,32 @@ class BufferPool {
   const size_t max_buffer_bytes_;
   Counter* hits_ = nullptr;
   Counter* misses_ = nullptr;
+  Gauge* hit_rate_ = nullptr;
+  std::atomic<uint64_t> hits_n_{0};
+  std::atomic<uint64_t> misses_n_{0};
   mutable std::mutex mu_;
   std::vector<std::string> free_;
 };
+
+// Wraps a buffer in shared ownership; when the last holder drops its
+// reference the buffer's capacity goes back to `pool`. The deleter captures
+// the shared_ptr to the pool itself, so pooled payloads may safely outlive
+// the runtime that created them (frames can still sit in a transport queue
+// while their node is being torn down).
+inline std::shared_ptr<std::string> to_shared(std::shared_ptr<BufferPool> pool,
+                                              std::string&& buf) {
+  auto* raw = new std::string(std::move(buf));
+  return std::shared_ptr<std::string>(
+      raw, [pool = std::move(pool)](std::string* p) {
+        pool->release(std::move(*p));
+        delete p;
+      });
+}
+
+inline std::shared_ptr<std::string> acquire_shared(
+    std::shared_ptr<BufferPool> pool) {
+  std::string buf = pool->acquire();
+  return to_shared(std::move(pool), std::move(buf));
+}
 
 }  // namespace hamr

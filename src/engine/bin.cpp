@@ -2,35 +2,78 @@
 
 namespace hamr::engine {
 
+namespace {
+
+constexpr size_t kCountSlotBytes = 5;
+
+void append_varint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+// Writes `v` as exactly kCountSlotBytes varint bytes at `pos` (continuation
+// bits forced on the leading four so short values still fill the slot).
+void patch_padded_varint(std::string* out, size_t pos, uint64_t v) {
+  for (size_t i = 0; i + 1 < kCountSlotBytes; ++i) {
+    (*out)[pos + i] = static_cast<char>(((v >> (7 * i)) & 0x7f) | 0x80);
+  }
+  (*out)[pos + kCountSlotBytes - 1] =
+      static_cast<char>((v >> (7 * (kCountSlotBytes - 1))) & 0x7f);
+}
+
+}  // namespace
+
 BinBuilder::BinBuilder(uint64_t job_epoch, EdgeId edge)
     : job_epoch_(job_epoch), edge_(edge), open_(true) {}
 
-void BinBuilder::open(uint64_t job_epoch, EdgeId edge) {
+void BinBuilder::open(uint64_t job_epoch, EdgeId edge, BufferPool* pool) {
   job_epoch_ = job_epoch;
   edge_ = edge;
+  if (pool != nullptr) pool_ = pool;
   open_ = true;
 }
 
+void BinBuilder::ensure_header() {
+  if (header_written_) return;
+  if (payload_.empty() && pool_ != nullptr) payload_ = pool_->acquire();
+  append_varint(&payload_, job_epoch_);
+  append_varint(&payload_, edge_);
+  count_pos_ = payload_.size();
+  payload_.append(kCountSlotBytes, '\0');
+  header_written_ = true;
+}
+
 void BinBuilder::add(std::string_view key, std::string_view value) {
-  serde::Writer w(buf_);
-  w.put_bytes(key);
-  w.put_bytes(value);
+  ensure_header();
+  append_varint(&payload_, key.size());
+  payload_.append(key.data(), key.size());
+  append_varint(&payload_, value.size());
+  payload_.append(value.data(), value.size());
   ++count_;
 }
 
-std::string BinBuilder::take(BufferPool* pool) {
-  ByteBuffer header(32);
-  serde::Writer w(header);
-  w.put_varint(job_epoch_);
-  w.put_varint(edge_);
-  w.put_varint(count_);
-  std::string out = pool != nullptr ? pool->acquire() : std::string();
-  out.reserve(header.size() + buf_.size());
-  out.append(header.view());
-  out.append(buf_.view());
-  buf_.clear();
+std::string BinBuilder::seal() {
+  ensure_header();  // a taken-but-empty bin still carries a valid header
+  patch_padded_varint(&payload_, count_pos_, count_);
+  std::string out = std::move(payload_);
+  payload_.clear();
+  header_written_ = false;
   count_ = 0;
   return out;
+}
+
+std::string BinBuilder::take(BufferPool* pool) {
+  if (pool != nullptr) pool_ = pool;
+  return seal();
+}
+
+std::shared_ptr<std::string> BinBuilder::take_shared(
+    const std::shared_ptr<BufferPool>& pool) {
+  if (pool != nullptr) pool_ = pool.get();
+  return to_shared(pool, seal());
 }
 
 BinView::BinView(std::string_view data) : data_(data) {

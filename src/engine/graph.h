@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "engine/flowlet.h"
@@ -24,6 +26,11 @@ struct EdgeOptions {
   // loader->map edges so raw input is processed where its disk lives, with
   // only derived (small) records crossing the network downstream.
   bool local = false;
+  // Custom key partitioner (key, num_nodes) -> destination node. When unset,
+  // records route by key hash. Range-partitioned edges (distributed sort)
+  // install one built from sampled boundaries; must be deterministic and
+  // identical on every node. Ignored for local edges.
+  std::function<uint32_t(std::string_view, uint32_t)> partitioner;
 };
 
 // Shorthand for a locality-preserving edge.

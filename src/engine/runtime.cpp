@@ -8,6 +8,7 @@
 #include "engine/engine.h"
 #include "fault/fault.h"
 #include "obs/trace.h"
+#include "sort/merge.h"
 #include "storage/run_file.h"
 
 namespace hamr::engine {
@@ -68,7 +69,10 @@ class TaskContext : public Context {
       return;
     }
     const NodeId dst =
-        edge.options.local ? rt_->node_id() : partition_of(key, num_nodes());
+        edge.options.local ? rt_->node_id()
+        : edge.options.partitioner
+            ? edge.options.partitioner(key, num_nodes()) % num_nodes()
+            : partition_of(key, num_nodes());
     add_record(edge.id, dst, key, value);
   }
 
@@ -120,7 +124,7 @@ class TaskContext : public Context {
   void add_record(EdgeId edge, NodeId dst, std::string_view key,
                   std::string_view value) {
     BinBuilder& builder = builders_[static_cast<size_t>(edge) * nodes_ + dst];
-    if (!builder.is_open()) builder.open(job_->epoch, edge);
+    if (!builder.is_open()) builder.open(job_->epoch, edge, rt_->pool_.get());
     builder.add(key, value);
     rt_->records_c_->inc();
     if (builder.payload_bytes() >= rt_->config_.bin_size_bytes) {
@@ -130,10 +134,13 @@ class TaskContext : public Context {
 
   void flush_builder(NodeId dst, BinBuilder& builder) {
     if (builder.empty()) return;
-    std::string bin = builder.take(&rt_->pool_);
+    // The sealed bin becomes a shared body: transport queues and the
+    // retransmission slot all reference these bytes, never copy them.
+    std::shared_ptr<std::string> bin = builder.take_shared(rt_->pool_);
     rt_->bins_c_->inc();
-    rt_->bin_bytes_c_->add(bin.size());
-    rt_->enqueue_out(dst, rt_->bin_type_, std::move(bin));
+    rt_->bin_bytes_c_->add(bin->size());
+    rt_->enqueue_out(dst, rt_->bin_type_,
+                     net::Payload::with_body(std::string(), std::move(bin)));
   }
 
   // Sender-side combining: fold into the node-shared combine table for this
@@ -225,8 +232,11 @@ NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
   stalls_c_ = metrics().counter("engine.stalls");
   stall_ns_c_ = metrics().counter("engine.stall_ns");
   task_retries_c_ = metrics().counter("engine.task_retries");
+  frame_copies_c_ = metrics().counter("engine.shuffle_frame_copies");
+  spill_runs_c_ = metrics().counter("sort.spill_runs");
   stall_us_h_ = metrics().histogram("engine.stall_us");
   task_us_h_ = metrics().histogram("engine.task_us");
+  merge_fan_in_h_ = metrics().histogram("sort.merge_fan_in");
   arena_bytes_g_ = metrics().gauge("engine.arena_bytes");
   windows_emitted_c_ = metrics().counter("stream.windows_emitted");
   window_emit_us_h_ = metrics().histogram("stream.window_emit_latency_us");
@@ -238,8 +248,9 @@ NodeRuntime::NodeRuntime(Engine* engine, cluster::Node* node,
   hooks.depth = metrics().gauge("engine.bin_queue_depth");
   hooks.bytes = metrics().gauge("engine.bin_queue_bytes");
   sched_.set_hooks(hooks);
-  pool_.set_metrics(metrics().counter("engine.pool_hits"),
-                    metrics().counter("engine.pool_misses"));
+  pool_->set_metrics(metrics().counter("engine.pool_hits"),
+                     metrics().counter("engine.pool_misses"),
+                     metrics().gauge("pool.hit_rate"));
   const uint32_t workers = sched_.workers();
   workers_.reserve(workers);
   for (uint32_t i = 0; i < workers; ++i) {
@@ -431,9 +442,8 @@ void NodeRuntime::on_ack_message(net::Message&& msg) {
     std::lock_guard<std::mutex> lock(ch.mu);
     for (auto it = ch.unacked.begin(); it != ch.unacked.end() && it->first < cum;
          it = ch.unacked.erase(it)) {
-      // The retransmission copy's capacity goes back to the pool; the next
-      // frame (or bin) builds into it instead of allocating.
-      pool_.release(std::move(it->second.frame));
+      // Dropping the entry releases the frame's shared body; when this was
+      // the last reference the buffer's capacity returns to the pool.
       ++erased;
     }
   }
@@ -529,7 +539,7 @@ void NodeRuntime::worker_loop(uint32_t self) {
           process_bin(work.item);
         }
         // Recycle the payload buffer (retry paths copied what they needed).
-        pool_.release(std::move(work.item.payload));
+        pool_->release(std::move(work.item.payload));
         work.item.payload.clear();
       } else {
         work.task();
@@ -828,6 +838,7 @@ void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs
         writer.add(r.key(), r.value());
       }
       write_spill_with_retry(writer);
+      spill_runs_c_->inc();
       log_event(obs::EventKind::kSpill, flowlet,
                 static_cast<int64_t>(spill_bytes));
     }
@@ -899,13 +910,23 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
   {
     TaskContext ctx(this, job.get(), flowlet);
 
-    // Merge in-memory records with any spilled sorted runs, group by key,
-    // and hand each group to reduce().
+    // Merge in-memory records with any spilled sorted runs through a loser
+    // tree (O(log k) per record instead of a linear best-of-k scan), group
+    // by key, and hand each group to reduce(). The in-memory run goes last:
+    // the tree breaks ties toward smaller source indices, so spill order
+    // followed by memory reproduces stable arrival order.
     struct Source {
       std::unique_ptr<storage::RunReader> reader;  // null => memory source
+      const std::vector<internal::ReduceStage::Rec>* mem = nullptr;
       size_t mem_pos = 0;
-      std::string_view key, value;
-      bool done = false;
+      bool next(std::string_view* key, std::string_view* value) {
+        if (reader) return reader->next(key, value);
+        if (mem_pos >= mem->size()) return false;
+        const internal::ReduceStage::Rec& r = (*mem)[mem_pos++];
+        *key = r.key();
+        *value = r.value();
+        return true;
+      }
     };
     std::vector<Source> sources;
     sources.reserve(stage.spill_paths.size() + 1);
@@ -914,21 +935,11 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
       s.reader = std::make_unique<storage::RunReader>(&node_->store(), path);
       sources.push_back(std::move(s));
     }
-    sources.emplace_back();  // in-memory source, last for merge stability
-
-    auto advance = [&](Source& s) {
-      if (s.reader) {
-        s.done = !s.reader->next(&s.key, &s.value);
-      } else if (s.mem_pos < stage.index.size()) {
-        const internal::ReduceStage::Rec& r = stage.index[s.mem_pos];
-        s.key = r.key();
-        s.value = r.value();
-        ++s.mem_pos;
-      } else {
-        s.done = true;
-      }
-    };
-    for (auto& s : sources) advance(s);
+    Source mem;
+    mem.mem = &stage.index;
+    sources.push_back(std::move(mem));
+    merge_fan_in_h_->observe(sources.size());
+    sort::LoserTree<Source> tree(std::move(sources));
 
     std::string current_key;
     std::vector<std::string_view> values;
@@ -941,20 +952,17 @@ void NodeRuntime::run_reduce_stage(FlowletId flowlet, uint32_t stage_index,
       }
     };
 
-    for (;;) {
-      Source* best = nullptr;
-      for (auto& s : sources) {
-        if (s.done) continue;
-        if (best == nullptr || s.key < best->key) best = &s;
-      }
-      if (best == nullptr) break;
-      if (!have_group || best->key != current_key) {
+    // The accumulated value views stay valid across tree.next() calls: run
+    // readers and the arena index both back their views with storage that
+    // lives for the whole merge.
+    std::string_view key, value;
+    while (tree.next(&key, &value)) {
+      if (!have_group || key != current_key) {
         flush_group();
-        current_key.assign(best->key);
+        current_key.assign(key);
         have_group = true;
       }
-      values.push_back(best->value);
-      advance(*best);
+      values.push_back(value);
     }
     flush_group();
   }
@@ -1082,15 +1090,18 @@ void NodeRuntime::flush_combine_stripe(internal::JobState& job, EdgeId edge_id,
   const uint32_t nodes = engine_->cluster().size();
   std::vector<BinBuilder> builders(nodes);
   auto send = [&](NodeId dst, BinBuilder& builder) {
-    std::string bin = builder.take(&pool_);
+    std::shared_ptr<std::string> bin = builder.take_shared(pool_);
     bins_c_->inc();
-    bin_bytes_c_->add(bin.size());
-    enqueue_out(dst, bin_type_, std::move(bin));
+    bin_bytes_c_->add(bin->size());
+    enqueue_out(dst, bin_type_,
+                net::Payload::with_body(std::string(), std::move(bin)));
   };
   for (const auto& e : drained.entries()) {
-    const NodeId dst = partition_of(e.key, nodes);
+    const NodeId dst = edge.options.partitioner
+                           ? edge.options.partitioner(e.key, nodes) % nodes
+                           : partition_of(e.key, nodes);
     BinBuilder& builder = builders[dst];
-    if (!builder.is_open()) builder.open(job.epoch, edge_id);
+    if (!builder.is_open()) builder.open(job.epoch, edge_id, pool_.get());
     builder.add(e.key, e.acc);
     if (builder.payload_bytes() >= config_.bin_size_bytes) send(dst, builder);
   }
@@ -1120,9 +1131,13 @@ void NodeRuntime::broadcast_complete(FlowletId flowlet) {
   w.put_varint(flowlet);
   log_event(obs::EventKind::kCompleteBroadcast, flowlet,
             static_cast<int64_t>(engine_->cluster().size()));
-  std::string payload(buf.view());
+  // One shared body serves every destination: each enqueue copies a few
+  // header bytes and bumps a refcount instead of duplicating the payload.
+  std::shared_ptr<std::string> body = acquire_shared(pool_);
+  body->append(buf.view());
   for (uint32_t n = 0; n < engine_->cluster().size(); ++n) {
-    enqueue_out(n, control_type_, payload);
+    enqueue_out(n, control_type_,
+                net::Payload::with_body(std::string(), body));
   }
 }
 
@@ -1339,7 +1354,7 @@ void NodeRuntime::write_spill_with_retry(storage::RunWriter& writer) {
 
 // --- egress --------------------------------------------------------------
 
-void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) {
+void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, net::Payload payload) {
   // Reliable shuffle: wrap engine payloads destined for a *remote* node in a
   // sequence-numbered frame and remember it for retransmission until the
   // cumulative ack passes it. Local traffic is never faulted (the transport
@@ -1347,17 +1362,41 @@ void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) 
   if (reliable() && dst != node_id() &&
       (type == bin_type_ || type == control_type_)) {
     SendChannel& ch = send_channels_.at(dst);
+
+    // The frame is head + shared body: the head carries the seq/ack header
+    // (varint seq | varint type | varint len), the body is the bin's pooled
+    // buffer itself. Live send, outbox, and retransmission slot all
+    // reference the same bytes. Payloads that arrive without a shared body
+    // (raw strings from auxiliary paths) are materialized into one - that
+    // copy is what engine.shuffle_frame_copies counts, and the steady-state
+    // bin/control path never takes it.
+    std::shared_ptr<std::string> body;
+    size_t body_off = 0;
+    size_t body_len = 0;
+    if (payload.has_body() && payload.head().empty()) {
+      body_off = payload.body_offset();
+      body_len = payload.body_length();
+      body = std::move(payload).body();
+    } else {
+      frame_copies_c_->inc();
+      body = to_shared(pool_, std::move(payload).into_string());
+      body_len = body->size();
+    }
+
     ByteBuffer buf;
     serde::Writer w(buf);
+    uint64_t seq = 0;
+    net::Payload frame;
     {
       std::lock_guard<std::mutex> lock(ch.mu);
-      const uint64_t seq = ch.next_seq++;
+      seq = ch.next_seq++;
       w.put_varint(seq);
       w.put_varint(type);
-      w.put_bytes(payload);
+      w.put_varint(body_len);
+      frame = net::Payload::with_body(std::string(buf.view()), std::move(body),
+                                      body_off, body_len);
       SendChannel::Unacked& u = ch.unacked[seq];
-      u.frame = pool_.acquire();
-      u.frame.append(buf.view());
+      u.frame = frame;
       // Armed for real by the sender thread once the frame leaves the node;
       // until then the frame is in our own outbox and cannot be "lost".
       u.next_resend = TimePoint::max();
@@ -1367,7 +1406,7 @@ void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) 
                                   -1, static_cast<int64_t>(seq));
     }
     metrics().gauge("engine.unacked_frames")->inc();
-    raw_enqueue_out(dst, frame_type_, std::string(buf.view()));
+    raw_enqueue_out(dst, frame_type_, std::move(frame), seq, /*is_frame=*/true);
     return;
   }
   if (type == bin_type_ && dst != node_id()) {
@@ -1377,7 +1416,9 @@ void NodeRuntime::enqueue_out(uint32_t dst, uint32_t type, std::string payload) 
   raw_enqueue_out(dst, type, std::move(payload));
 }
 
-void NodeRuntime::raw_enqueue_out(uint32_t dst, uint32_t type, std::string payload) {
+void NodeRuntime::raw_enqueue_out(uint32_t dst, uint32_t type,
+                                  net::Payload payload, uint64_t frame_seq,
+                                  bool is_frame) {
   outbox_bytes_.fetch_add(payload.size());
   {
     std::lock_guard<std::mutex> lock(out_mu_);
@@ -1385,9 +1426,9 @@ void NodeRuntime::raw_enqueue_out(uint32_t dst, uint32_t type, std::string paylo
     // of data is harmless), and a sender waiting behind megabytes of queued
     // bins would retransmit frames the receiver already holds.
     if (type == ack_type_) {
-      outbox_.push_front(OutMsg{dst, type, std::move(payload)});
+      outbox_.push_front(OutMsg{dst, type, std::move(payload), frame_seq, is_frame});
     } else {
-      outbox_.push_back(OutMsg{dst, type, std::move(payload)});
+      outbox_.push_back(OutMsg{dst, type, std::move(payload), frame_seq, is_frame});
     }
   }
   out_cv_.notify_one();
@@ -1427,13 +1468,9 @@ void NodeRuntime::sender_loop() {
     drain_due_deferred();
     if (have) {
       const uint64_t size = msg.payload.size();
-      uint64_t frame_seq = 0;
-      bool is_frame = false;
-      if (rel && msg.type == frame_type_) {
-        serde::Reader r(msg.payload);
-        frame_seq = r.get_varint();
-        is_frame = true;
-      }
+      // The frame's seq was stamped at enqueue; no payload re-parse here.
+      const uint64_t frame_seq = msg.frame_seq;
+      const bool is_frame = rel && msg.is_frame;
       node_->router().endpoint()->send(msg.dst, msg.type, std::move(msg.payload));
       outbox_bytes_.fetch_sub(size);
       if (is_frame) {
@@ -1475,7 +1512,10 @@ void NodeRuntime::resend_due_frames() {
           : 30;
   for (uint32_t dst = 0; dst < send_channels_.size(); ++dst) {
     SendChannel& ch = send_channels_[dst];
-    std::vector<std::string> due;
+    // A re-enqueued frame is a Payload copy: a few header bytes plus a
+    // refcount bump on the shared body. The bin bytes are never re-copied
+    // for retransmission.
+    std::vector<std::pair<uint64_t, net::Payload>> due;
     uint64_t lost = 0;
     {
       std::lock_guard<std::mutex> lock(ch.mu);
@@ -1495,7 +1535,7 @@ void NodeRuntime::resend_due_frames() {
         }
         ++u.attempts;
         u.next_resend = t + resend_timeout(u.attempts);
-        due.push_back(u.frame);
+        due.emplace_back(it->first, u.frame);
         ++it;
       }
     }
@@ -1503,12 +1543,12 @@ void NodeRuntime::resend_due_frames() {
       metrics().counter("engine.frames_lost")->add(lost);
       metrics().gauge("engine.unacked_frames")->sub(static_cast<int64_t>(lost));
     }
-    for (std::string& frame : due) {
+    for (auto& [seq, frame] : due) {
       metrics().counter("engine.resends")->inc();
       obs::trace().record_instant("shuffle.resend", "engine.shuffle",
                                   node_id(), -1,
                                   static_cast<int64_t>(frame.size()));
-      raw_enqueue_out(dst, frame_type_, std::move(frame));
+      raw_enqueue_out(dst, frame_type_, std::move(frame), seq, /*is_frame=*/true);
     }
   }
 }

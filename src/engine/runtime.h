@@ -53,6 +53,7 @@
 #include "engine/rate_gate.h"
 #include "engine/scheduler.h"
 #include "engine/split.h"
+#include "net/payload.h"
 #include "obs/event_log.h"
 
 namespace hamr::storage {
@@ -234,7 +235,10 @@ class NodeRuntime {
     std::mutex mu;
     uint64_t next_seq = 0;
     struct Unacked {
-      std::string frame;       // full framed payload, for retransmission
+      // Framed payload held for retransmission: the seq/ack head plus a view
+      // of the same shared body the live send carries - no retransmission
+      // copy. Dropping the entry (on ack) releases the body to the pool.
+      net::Payload frame;
       TimePoint next_resend{};
       uint32_t attempts = 0;
     };
@@ -313,8 +317,9 @@ class NodeRuntime {
   void write_spill_with_retry(storage::RunWriter& writer);
 
   // --- egress ---
-  void enqueue_out(uint32_t dst, uint32_t type, std::string payload);
-  void raw_enqueue_out(uint32_t dst, uint32_t type, std::string payload);
+  void enqueue_out(uint32_t dst, uint32_t type, net::Payload payload);
+  void raw_enqueue_out(uint32_t dst, uint32_t type, net::Payload payload,
+                       uint64_t frame_seq = 0, bool is_frame = false);
   void sender_loop();
   Duration resend_timeout(uint32_t attempts) const;
   Duration resend_check_every() const;
@@ -359,8 +364,13 @@ class NodeRuntime {
   Counter* stalls_c_ = nullptr;
   Counter* stall_ns_c_ = nullptr;
   Counter* task_retries_c_ = nullptr;
+  // Fallback byte-copies on the reliable frame path (a framed payload that
+  // arrived without a shared body); ~0 in zero-copy steady state.
+  Counter* frame_copies_c_ = nullptr;
+  Counter* spill_runs_c_ = nullptr;
   Histogram* stall_us_h_ = nullptr;
   Histogram* task_us_h_ = nullptr;
+  Histogram* merge_fan_in_h_ = nullptr;
   Gauge* arena_bytes_g_ = nullptr;
   // Streaming (stream.* family; idle unless a windowed flowlet runs).
   Counter* windows_emitted_c_ = nullptr;
@@ -376,8 +386,10 @@ class NodeRuntime {
   std::vector<std::thread> workers_;
 
   // Payload buffer recycling: bins and frames acquire their output strings
-  // here; processed bins and acked frames return them.
-  BufferPool pool_;
+  // here; processed bins and acked frames return them. Shared so pooled
+  // frame bodies still in a transport queue at teardown keep the pool alive
+  // through their deleters.
+  std::shared_ptr<BufferPool> pool_ = std::make_shared<BufferPool>();
 
   // Deferred tasks (flow-control stalls, crash-retry backoffs), ordered by
   // deadline; the sender loop drains due entries back onto the scheduler.
@@ -391,7 +403,11 @@ class NodeRuntime {
   struct OutMsg {
     uint32_t dst;
     uint32_t type;
-    std::string payload;
+    net::Payload payload;
+    // Reliable-frame bookkeeping, stamped at enqueue so the sender loop
+    // never re-parses the payload to find the sequence number.
+    uint64_t frame_seq = 0;
+    bool is_frame = false;
   };
   std::deque<OutMsg> outbox_;
   std::atomic<uint64_t> outbox_bytes_{0};

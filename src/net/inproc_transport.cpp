@@ -53,9 +53,8 @@ void InProcTransport::stop() {
 }
 
 void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
-                              std::string payload) {
-  Message msg{type, src, std::move(payload)};
-  const uint64_t size = msg.payload.size();
+                              Payload payload) {
+  const uint64_t size = payload.size();
   const bool local = src == dst;
 
   // Fault injection (chaos testing): the injector may drop the message on
@@ -102,14 +101,16 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
 
   NodeState& d = *nodes_[dst];
   for (uint32_t copy = 0; copy < copies; ++copy) {
-    Message enqueue_msg =
-        copy + 1 < copies ? Message{msg.type, msg.src, msg.payload} : std::move(msg);
+    // A duplicate copies the tiny head and bumps the shared-body refcount;
+    // the body bytes are not re-copied.
+    Payload enqueue_payload =
+        copy + 1 < copies ? payload : std::move(payload);
     const TimePoint wait_t0 = now();
     std::unique_lock<std::mutex> lock(d.mu);
     // Local sends and priority (RPC-response) traffic bypass the ingress
     // bound; see is_priority_type() for the deadlock-freedom argument.
     d.ingress_space.wait(lock, [&] {
-      return stopping_.load() || local || is_priority_type(enqueue_msg.type) ||
+      return stopping_.load() || local || is_priority_type(type) ||
              d.queued_bytes + size <= config_.ingress_capacity_bytes ||
              d.queue.empty();  // never refuse when empty (oversized message)
     });
@@ -136,8 +137,8 @@ void InProcTransport::do_send(NodeId src, NodeId dst, uint32_t type,
     } else {
       deliver_at = now() + fault_delay;
     }
-    d.queue.push(
-        Pending{deliver_at, seq_.fetch_add(1), std::move(enqueue_msg), billed});
+    d.queue.push(Pending{deliver_at, seq_.fetch_add(1), type, src,
+                         std::move(enqueue_payload), billed});
     d.queued_bytes += size;
     if (Metrics* m = metrics_[dst]; m != nullptr) {
       m->gauge("net.ingress_queued_bytes")
@@ -181,7 +182,7 @@ void InProcTransport::delivery_loop(NodeId node) {
       // removed immediately after the move so the heap order is unaffected.
       item = std::move(const_cast<Pending&>(s.queue.top()));
       s.queue.pop();
-      s.queued_bytes -= item.msg.payload.size();
+      s.queued_bytes -= item.payload.size();
       if (Metrics* m = metrics_[node]; m != nullptr) {
         m->gauge("net.ingress_queued_bytes")
             ->set(static_cast<int64_t>(s.queued_bytes));
@@ -190,10 +191,13 @@ void InProcTransport::delivery_loop(NodeId node) {
     }
     if (s.handler) {
       obs::TraceSpan span("net.rx", "net", node, -1,
-                          static_cast<int64_t>(item.msg.type));
-      s.handler(std::move(item.msg));
+                          static_cast<int64_t>(item.type));
+      // The one materialization a shared body pays: contiguous bytes for the
+      // handler. Sole-owner payloads move instead of copying.
+      Message msg{item.type, item.src, std::move(item.payload).into_string()};
+      s.handler(std::move(msg));
     } else {
-      HLOG_WARN << "node " << node << " dropped message type " << item.msg.type
+      HLOG_WARN << "node " << node << " dropped message type " << item.type
                 << " (no handler)";
     }
   }

@@ -72,10 +72,15 @@ class InProcTransport {
   void stop();
 
  private:
+  // Queued messages keep the segmented Payload (shared bin bodies stay
+  // shared while waiting in the ingress queue); contiguous bytes are
+  // materialized only when the handler runs.
   struct Pending {
     TimePoint deliver_at;
     uint64_t seq;
-    Message msg;
+    uint32_t type;
+    NodeId src;
+    Payload payload;
     uint64_t billed_bytes;
   };
   struct PendingLater {
@@ -103,7 +108,7 @@ class InProcTransport {
   class EndpointImpl : public Endpoint {
    public:
     EndpointImpl(InProcTransport* fabric, NodeId id) : fabric_(fabric), id_(id) {}
-    void send(NodeId dst, uint32_t type, std::string payload) override {
+    void send(NodeId dst, uint32_t type, Payload payload) override {
       fabric_->do_send(id_, dst, type, std::move(payload));
     }
     void set_handler(MessageHandler handler) override {
@@ -119,7 +124,7 @@ class InProcTransport {
     NodeId id_;
   };
 
-  void do_send(NodeId src, NodeId dst, uint32_t type, std::string payload);
+  void do_send(NodeId src, NodeId dst, uint32_t type, Payload payload);
   void delivery_loop(NodeId node);
 
   NetConfig config_;

@@ -13,6 +13,8 @@
 #include <functional>
 #include <string>
 
+#include "net/payload.h"
+
 namespace hamr::net {
 
 using NodeId = uint32_t;
@@ -40,7 +42,9 @@ class Endpoint {
 
   // Sends to `dst`. May block when the destination's ingress buffer is full
   // (backpressure). Sending to self is allowed and free of network cost.
-  virtual void send(NodeId dst, uint32_t type, std::string payload) = 0;
+  // The payload may carry a shared body segment (see payload.h); transports
+  // forward the view without copying the body bytes.
+  virtual void send(NodeId dst, uint32_t type, Payload payload) = 0;
 
   // Must be called before the fabric starts delivering.
   virtual void set_handler(MessageHandler handler) = 0;

@@ -1,0 +1,93 @@
+// Segmented message payload with shared ownership: the zero-copy currency of
+// the transport layer.
+//
+// A Payload is a small owned `head` (frame/sequence headers, built per send)
+// plus an optional shared `body` (the bulk bytes - a shuffle bin built once
+// in a pooled buffer) addressed by offset/length view. Senders that need the
+// same bulk bytes in several places (outbox, retransmission queue, several
+// broadcast destinations) copy the Payload, which copies the tiny head and
+// bumps the body refcount - the body bytes themselves are written exactly
+// once and never duplicated on the send path.
+//
+// A plain std::string converts implicitly (head-only payload), so callers
+// without a shared body (RPC envelopes, acks, tests) are unaffected.
+//
+// Ownership rule: whoever holds a Payload keeps the body alive. Bodies
+// acquired from a BufferPool return to it automatically when the last
+// holder drops (see pool.h to_shared()), wherever in the stack that happens.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hamr::net {
+
+class Payload {
+ public:
+  Payload() = default;
+  // Implicit: a head-only payload owning its bytes.
+  Payload(std::string bytes) : head_(std::move(bytes)) {}  // NOLINT
+  Payload(std::string_view bytes) : head_(bytes) {}        // NOLINT
+  Payload(const char* bytes) : head_(bytes) {}             // NOLINT
+
+  // head + shared body[offset, offset+length). The body segment follows the
+  // head on the wire.
+  static Payload with_body(std::string head, std::shared_ptr<std::string> body,
+                           size_t offset, size_t length) {
+    Payload p;
+    p.head_ = std::move(head);
+    p.body_ = std::move(body);
+    p.body_off_ = offset;
+    p.body_len_ = length;
+    return p;
+  }
+  static Payload with_body(std::string head, std::shared_ptr<std::string> body) {
+    const size_t n = body ? body->size() : 0;
+    return with_body(std::move(head), std::move(body), 0, n);
+  }
+
+  size_t size() const { return head_.size() + body_len_; }
+  bool empty() const { return size() == 0; }
+  bool has_body() const { return body_ != nullptr; }
+
+  const std::string& head() const { return head_; }
+  std::string_view body_view() const {
+    return body_ ? std::string_view(*body_).substr(body_off_, body_len_)
+                 : std::string_view();
+  }
+  const std::shared_ptr<std::string>& body() const { return body_; }
+  size_t body_offset() const { return body_off_; }
+  size_t body_length() const { return body_len_; }
+
+  void append_to(std::string* out) const {
+    out->append(head_);
+    out->append(body_view());
+  }
+
+  // Materializes contiguous bytes (receiver side / delivery). This is the
+  // one copy a shared body ever pays, and it is on the receive path, never
+  // on serialize/enqueue/resend. A sole-owner move fast path
+  // (use_count() == 1) is deliberately NOT taken: the relaxed count load
+  // does not synchronize with another holder's release-decrement, so
+  // "observed 1" gives no happens-before with that holder's last read of
+  // the bytes - a broadcast body delivered by two transport threads would
+  // race (caught by TSan on the sort suite).
+  std::string into_string() && {
+    if (!body_) return std::move(head_);
+    std::string out;
+    out.reserve(size());
+    append_to(&out);
+    return out;
+  }
+
+ private:
+  std::string head_;
+  std::shared_ptr<std::string> body_;
+  size_t body_off_ = 0;
+  size_t body_len_ = 0;
+};
+
+}  // namespace hamr::net

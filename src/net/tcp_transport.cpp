@@ -191,16 +191,23 @@ int TcpTransport::connect_to(NodeId dst) {
 }
 
 Status TcpTransport::send_frame(int fd, uint32_t type, NodeId src,
-                                const std::string& payload) {
+                                const Payload& payload) {
+  // The payload's segments (head, shared body view) go to the socket in
+  // sequence - no contiguous copy is ever materialized on the send side.
   uint32_t header[3] = {static_cast<uint32_t>(payload.size()), type, src};
   if (!write_all(fd, header, sizeof(header))) return Status::Unavailable("write header");
-  if (!payload.empty() && !write_all(fd, payload.data(), payload.size())) {
+  const std::string& head = payload.head();
+  if (!head.empty() && !write_all(fd, head.data(), head.size())) {
+    return Status::Unavailable("write payload");
+  }
+  const std::string_view body = payload.body_view();
+  if (!body.empty() && !write_all(fd, body.data(), body.size())) {
     return Status::Unavailable("write payload");
   }
   return Status::Ok();
 }
 
-void TcpTransport::EndpointImpl::send(NodeId dst, uint32_t type, std::string payload) {
+void TcpTransport::EndpointImpl::send(NodeId dst, uint32_t type, Payload payload) {
   if (fabric_->stopping_.load()) return;
   NodeState& s = *fabric_->nodes_[id_];
   std::lock_guard<std::mutex> lock(s.conn_mu);

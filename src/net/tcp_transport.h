@@ -48,7 +48,7 @@ class TcpTransport {
   class EndpointImpl : public Endpoint {
    public:
     EndpointImpl(TcpTransport* fabric, NodeId id) : fabric_(fabric), id_(id) {}
-    void send(NodeId dst, uint32_t type, std::string payload) override;
+    void send(NodeId dst, uint32_t type, Payload payload) override;
     void set_handler(MessageHandler handler) override;
     NodeId node_id() const override { return id_; }
     uint32_t cluster_size() const override;
@@ -61,7 +61,7 @@ class TcpTransport {
   void accept_loop(NodeId node);
   void reader_loop(NodeId node, int fd);
   int connect_to(NodeId dst);
-  Status send_frame(int fd, uint32_t type, NodeId src, const std::string& payload);
+  Status send_frame(int fd, uint32_t type, NodeId src, const Payload& payload);
 
   std::vector<std::unique_ptr<NodeState>> nodes_;
   std::vector<std::unique_ptr<EndpointImpl>> endpoints_;

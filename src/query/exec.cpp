@@ -5,15 +5,29 @@
 #include <stdexcept>
 
 #include "common/bytes.h"
+#include "serde/batch.h"
 
 namespace hamr::query {
 
 std::string encode_table_shard(const Table& table, uint32_t shard,
                                uint32_t num_shards) {
+  // Framed row blocks: (varint len | encode_row_block bytes)*. The batch
+  // codec amortizes bounds checks across a block; the framing lets the scan
+  // loader walk blocks with the shared serde::get_framed_run cursor loop.
+  constexpr size_t kRowsPerBlock = 256;
   ByteBuffer buf;
   serde::Writer writer(buf);
+  std::vector<Row> block;
+  block.reserve(kRowsPerBlock);
   for (size_t i = shard; i < table.rows.size(); i += num_shards) {
-    writer.put_bytes(table.schema.encode_row(table.rows[i]));
+    block.push_back(table.rows[i]);
+    if (block.size() == kRowsPerBlock) {
+      serde::put_framed(writer, table.schema.encode_row_block(block));
+      block.clear();
+    }
+  }
+  if (!block.empty()) {
+    serde::put_framed(writer, table.schema.encode_row_block(block));
   }
   return std::string(buf.view());
 }
@@ -186,21 +200,26 @@ class RowScanLoader : public engine::LoaderFlowlet {
   bool load_chunk(const engine::InputSplit& split, uint64_t* cursor,
                   engine::Context& ctx) override {
     std::shared_ptr<const std::string> data = split_data(split, ctx);
-    const uint64_t end = split.offset + split.length;
-    uint64_t pos = split.offset + *cursor;
-    if (pos >= end) return false;
+    const std::string_view shard =
+        std::string_view(*data).substr(split.offset, split.length);
+    size_t pos = static_cast<size_t>(*cursor);
+    if (pos >= shard.size()) return false;
 
-    serde::Reader reader(
-        std::string_view(*data).substr(pos, end - pos));
+    // Walk framed row blocks with the shared chunked-decode loop (also used
+    // by the sort run loader), batch-decoding each block in one pass.
     uint64_t produced = 0;
-    while (produced < c_->rows_per_chunk && reader.remaining() > 0) {
-      Row row = c_->table_schema.decode_row(reader.get_bytes());
-      ++produced;
-      if (c_->pipeline.apply(&row)) c_->emit.emit_row(row, ctx);
+    std::vector<std::string_view> blocks;
+    while (produced < c_->rows_per_chunk && pos < shard.size()) {
+      blocks.clear();
+      if (serde::get_framed_run(shard, &pos, 1, &blocks) == 0) break;
+      std::vector<Row> rows = c_->table_schema.decode_row_block(blocks[0]);
+      produced += rows.size();
+      for (Row& row : rows) {
+        if (c_->pipeline.apply(&row)) c_->emit.emit_row(row, ctx);
+      }
     }
-    pos += reader.position();
-    *cursor = pos - split.offset;
-    return pos < end;
+    *cursor = pos;
+    return pos < shard.size();
   }
 
  private:

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/bytes.h"
+#include "serde/batch.h"
 
 namespace hamr::query {
 
@@ -138,6 +139,103 @@ Row Schema::decode_row(std::string_view bytes) const {
                              std::to_string(reader.remaining()));
   }
   return row;
+}
+
+void Schema::encode_row_block(const Row* rows, size_t count,
+                              serde::Writer* writer) const {
+  for (size_t i = 0; i < count; ++i) {
+    if (rows[i].size() != cols.size()) {
+      throw std::invalid_argument("row arity " + std::to_string(rows[i].size()) +
+                                  " vs schema arity " +
+                                  std::to_string(cols.size()));
+    }
+  }
+  writer->put_varint(count);
+  std::vector<uint64_t> u64s;
+  std::vector<double> f64s;
+  std::vector<std::string_view> views;
+  for (size_t c = 0; c < cols.size(); ++c) {
+    const ColType type = cols[c].type;
+    for (size_t i = 0; i < count; ++i) {
+      if (rows[i][c].type != type) {
+        throw std::invalid_argument(std::string("row value is ") +
+                                    col_type_name(rows[i][c].type) +
+                                    ", schema says " + col_type_name(type));
+      }
+    }
+    switch (type) {
+      case ColType::kI64:
+        u64s.clear();
+        u64s.reserve(count);
+        for (size_t i = 0; i < count; ++i) {
+          u64s.push_back(static_cast<uint64_t>(rows[i][c].i));
+        }
+        serde::put_u64_run(*writer, u64s);
+        break;
+      case ColType::kF64:
+        f64s.clear();
+        f64s.reserve(count);
+        for (size_t i = 0; i < count; ++i) f64s.push_back(rows[i][c].f);
+        serde::put_f64_run(*writer, f64s);
+        break;
+      case ColType::kStr:
+        views.clear();
+        views.reserve(count);
+        for (size_t i = 0; i < count; ++i) views.push_back(rows[i][c].s);
+        serde::put_string_run(*writer, views);
+        break;
+    }
+  }
+}
+
+std::string Schema::encode_row_block(const std::vector<Row>& rows) const {
+  ByteBuffer buf;
+  serde::Writer writer(buf);
+  encode_row_block(rows.data(), rows.size(), &writer);
+  return std::string(buf.view());
+}
+
+std::vector<Row> Schema::decode_row_block(std::string_view bytes) const {
+  serde::Reader reader(bytes);
+  const uint64_t count = reader.get_varint();
+  std::vector<Row> rows(count);
+  for (uint64_t i = 0; i < count; ++i) rows[i].reserve(cols.size());
+  std::vector<uint64_t> u64s;
+  std::vector<double> f64s;
+  std::vector<std::string_view> views;
+  for (const Column& col : cols) {
+    switch (col.type) {
+      case ColType::kI64:
+        u64s.clear();
+        serde::get_u64_run(reader, &u64s);
+        if (u64s.size() != count) throw serde::DecodeError("i64 run count");
+        for (uint64_t i = 0; i < count; ++i) {
+          rows[i].push_back(Value::of(static_cast<int64_t>(u64s[i])));
+        }
+        break;
+      case ColType::kF64:
+        f64s.clear();
+        serde::get_f64_run(reader, &f64s);
+        if (f64s.size() != count) throw serde::DecodeError("f64 run count");
+        for (uint64_t i = 0; i < count; ++i) {
+          rows[i].push_back(Value::of(f64s[i]));
+        }
+        break;
+      case ColType::kStr:
+        views.clear();
+        serde::get_string_run(reader, &views);
+        if (views.size() != count) throw serde::DecodeError("str run count");
+        for (uint64_t i = 0; i < count; ++i) {
+          rows[i].push_back(Value::of(std::string(views[i])));
+        }
+        break;
+    }
+  }
+  if (!reader.at_end()) {
+    throw serde::DecodeError("trailing bytes after row block: " +
+                             std::to_string(reader.remaining()));
+  }
+  return rows;
 }
 
 std::string Schema::to_string() const {

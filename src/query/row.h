@@ -78,6 +78,18 @@ struct Schema {
   Row decode_row(serde::Reader* reader) const;
   Row decode_row(std::string_view bytes) const;
 
+  // Column-major batch codec for staged shards (serde/batch.h runs): varint
+  // row count, then each column as one contiguous run - i64/f64 as raw
+  // fixed-width runs moved with a single memcpy, strings as a length block
+  // plus one bounds-checked payload block. Pays one check per column per
+  // block instead of one per cell; same arity/type errors as encode_row.
+  // Note: this is a *block* layout, distinct from the injective per-row
+  // encoding the differential tests canonicalize with.
+  void encode_row_block(const Row* rows, size_t count,
+                        serde::Writer* writer) const;
+  std::string encode_row_block(const std::vector<Row>& rows) const;
+  std::vector<Row> decode_row_block(std::string_view bytes) const;
+
   std::string to_string() const;  // "name:type, ..." for error messages
 };
 

@@ -66,6 +66,12 @@ class Writer {
     out_.append(sv);
   }
 
+  // Unprefixed raw bytes: one append, no per-element framing. The batch
+  // codecs (batch.h) use this to move whole fixed-width runs in one shot.
+  void put_raw(const void* data, size_t len) {
+    out_.append(static_cast<const uint8_t*>(data), len);
+  }
+
   void put_bool(bool v) { put_u8(v ? 1 : 0); }
 
   ByteBuffer& buffer() { return out_; }
@@ -128,6 +134,15 @@ class Reader {
 
   std::string_view get_bytes() {
     const uint64_t len = get_varint();
+    require(len);
+    std::string_view sv = data_.substr(pos_, len);
+    pos_ += len;
+    return sv;
+  }
+
+  // Unprefixed raw view of the next `len` bytes: one bounds check for the
+  // whole run (batch codec counterpart of put_raw).
+  std::string_view get_raw(size_t len) {
     require(len);
     std::string_view sv = data_.substr(pos_, len);
     pos_ += len;

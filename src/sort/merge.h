@@ -1,0 +1,113 @@
+// K-way merge via a loser tree (tree of losers selection sort).
+//
+// A linear best-of-k scan costs O(k) comparisons per output record; the
+// loser tree costs O(log k): after the winner is consumed, only the path
+// from its leaf to the root is replayed. For TeraSort-class merges with
+// dozens of spill runs per stage this is the difference between the merge
+// being comparison-bound and being memcpy-bound.
+//
+// Source concept:
+//   bool next(std::string_view* key, std::string_view* value);
+//     Advances to the next record, filling the views, or returns false when
+//     exhausted. Views must stay valid until the source's following next()
+//     call (arena- or file-buffer-backed sources satisfy this trivially).
+//
+// Stability: ties are broken by the smaller source index, so listing spill
+// runs in creation order followed by the in-memory run reproduces exactly
+// the arrival-order semantics of a stable merge.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hamr::sort {
+
+template <typename Source>
+class LoserTree {
+ public:
+  explicit LoserTree(std::vector<Source> sources)
+      : sources_(std::move(sources)),
+        k_(sources_.size()),
+        tree_(k_, 0),
+        key_(k_),
+        value_(k_),
+        exhausted_(k_, false) {}
+
+  size_t fan_in() const { return k_; }
+
+  // Pops the globally smallest record. The output views point into the
+  // winning source and remain valid until the next call.
+  bool next(std::string_view* key, std::string_view* value) {
+    if (k_ == 0) return false;
+    if (!started_) {
+      for (size_t i = 0; i < k_; ++i) advance(i);
+      winner_ = build(1);
+      started_ = true;
+    } else {
+      // Advance the previous winner only now: pulling its source earlier
+      // would invalidate the views handed out by the last call.
+      advance(winner_);
+      replay();
+    }
+    if (exhausted_[winner_]) return false;
+    *key = key_[winner_];
+    *value = value_[winner_];
+    return true;
+  }
+
+ private:
+  void advance(size_t i) {
+    if (exhausted_[i]) return;
+    if (!sources_[i].next(&key_[i], &value_[i])) {
+      exhausted_[i] = true;
+      key_[i] = {};
+      value_[i] = {};
+    }
+  }
+
+  // True when source a must come out before source b. Exhausted sources
+  // always lose; key ties go to the smaller index (stability).
+  bool wins(size_t a, size_t b) const {
+    if (exhausted_[a]) return false;
+    if (exhausted_[b]) return true;
+    if (key_[a] != key_[b]) return key_[a] < key_[b];
+    return a < b;
+  }
+
+  // Array-heap layout: internal nodes 1..k-1 hold the loser of their
+  // subtree's playoff; leaf node k+i is source i. Returns the subtree
+  // winner; called once as build(1) after the leaves are primed.
+  size_t build(size_t node) {
+    if (node >= k_) return node - k_;
+    const size_t l = build(2 * node);
+    const size_t r = build(2 * node + 1);
+    const size_t w = wins(l, r) ? l : r;
+    tree_[node] = w == l ? r : l;
+    return w;
+  }
+
+  // Replays the path from the previous winner's leaf to the root against
+  // the stored losers.
+  void replay() {
+    size_t w = winner_;
+    for (size_t node = (w + k_) / 2; node >= 1; node /= 2) {
+      if (wins(tree_[node], w)) std::swap(tree_[node], w);
+    }
+    winner_ = w;
+  }
+
+  std::vector<Source> sources_;
+  size_t k_;
+  std::vector<size_t> tree_;
+  std::vector<std::string_view> key_;
+  std::vector<std::string_view> value_;
+  // vector<char>, not vector<bool>: flags are read in the comparator's
+  // innermost path.
+  std::vector<char> exhausted_;
+  size_t winner_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace hamr::sort

@@ -8,13 +8,16 @@
 // reference.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "apps/pagerank.h"
 #include "apps/wordcount.h"
+#include "common/random.h"
 #include "fault/fault.h"
+#include "sort/sort.h"
 #include "gen/generators.h"
 #include "net/message.h"
 #include "obs/metrics_snapshot.h"
@@ -423,6 +426,51 @@ TEST(ChaosStream, WindowedWordCountStaysByteIdenticalUnderChaos) {
                                          /*crash_rate=*/0.02));
   EXPECT_EQ(run(chaos.env), expected);
   EXPECT_GT(chaos.injector.stats().total(), 0u);
+}
+
+TEST(ChaosSort, DistributedSortStaysByteIdenticalUnderChaos) {
+  // TeraSort-class probe: records are opaque bytes sorted lexicographically,
+  // so a single duplicated or lost record changes the output bytes. Run the
+  // full sampling + range-partitioned shuffle + spill/merge pipeline under
+  // 5% frame drops and 2% task crashes; the concatenated per-node partitions
+  // must equal a single-threaded std::sort of the same dataset exactly.
+  fault::FaultPlan plan;
+  plan.seed = 37;
+  plan.default_link.drop = 0.05;
+  plan.task_crash_rate = 0.02;
+  plan.resend_after = millis(20);  // recover dropped frames quickly
+  ChaosEnv chaos(plan);
+
+  Rng rng(67);
+  std::vector<std::string> data;
+  data.reserve(8000);
+  for (size_t i = 0; i < 8000; ++i) {
+    std::string rec;
+    const size_t len = 8 + rng.next_below(56);
+    rec.reserve(len);
+    for (size_t b = 0; b < len; ++b) {
+      rec.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    data.push_back(std::move(rec));
+  }
+  std::vector<std::string> expected = data;
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<std::vector<std::string>> shards(chaos.env.nodes());
+  for (size_t i = 0; i < data.size(); ++i) {
+    shards[i % shards.size()].push_back(data[i]);
+  }
+  std::vector<std::string> framed;
+  for (const auto& s : shards) framed.push_back(sort::frame_records(s));
+
+  sort::SortSpec spec;
+  spec.memory_budget_bytes = 64 * 1024;  // force spill runs under chaos too
+  sort::stage_sort_input(*chaos.env.cluster, spec, framed);
+  sort::run_distributed_sort(*chaos.env.engine, spec);
+
+  EXPECT_EQ(sort::collect_sorted(*chaos.env.cluster, spec), expected);
+  EXPECT_GT(chaos.injector.stats().total(), 0u);
+  EXPECT_GT(chaos.env.cluster->total_counter("sort.spill_runs"), 0u);
 }
 
 TEST(ChaosQuery, JoinGroupByQueryStaysByteIdenticalUnderChaos) {
