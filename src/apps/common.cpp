@@ -1,5 +1,6 @@
 #include "apps/common.h"
 
+#include <algorithm>
 #include <charconv>
 
 namespace hamr::apps {
@@ -12,6 +13,12 @@ BenchEnv BenchEnv::make(cluster::ClusterConfig cluster_cfg,
   env.dfs = std::make_unique<dfs::MiniDfs>(*env.cluster, dfs_cfg);
   env.engine = std::make_unique<engine::Engine>(*env.cluster, engine_cfg);
   env.mr = std::make_unique<mapreduce::JobRunner>(*env.cluster, *env.dfs);
+  cache::DatasetCache::Config cache_cfg;
+  cache_cfg.byte_budget =
+      std::max<uint64_t>(engine_cfg.memory_budget_bytes / 4, 1 << 20);
+  cache_cfg.event_log = engine_cfg.event_log;
+  env.dataset_cache =
+      std::make_shared<cache::DatasetCache>(*env.cluster, cache_cfg);
   return env;
 }
 

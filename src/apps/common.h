@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/dataset_cache.h"
 #include "cluster/cluster.h"
 #include "dfs/mini_dfs.h"
 #include "engine/engine.h"
@@ -24,6 +25,10 @@ struct BenchEnv {
   std::unique_ptr<dfs::MiniDfs> dfs;
   std::unique_ptr<engine::Engine> engine;
   std::unique_ptr<mapreduce::JobRunner> mr;
+  // Cross-job dataset cache for the iterative drivers (PageRank/KMeans
+  // cached chains). Budget: a quarter of the engine's memory budget - the
+  // lane-memory carve of DESIGN.md §15.
+  std::shared_ptr<cache::DatasetCache> dataset_cache;
   // Baseline job knobs every app starts from (startup costs, sort buffer,
   // merge fan-in); the bench harness scales these with the cluster model.
   mapreduce::MrJobConfig mr_defaults;

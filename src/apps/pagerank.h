@@ -29,6 +29,7 @@ struct Params {
 
 struct RunInfo {
   double seconds = 0;
+  std::vector<double> iteration_seconds;              // one per iteration
   std::vector<engine::JobResult> engine_results;      // one per iteration
   std::vector<mapreduce::MrResult> baseline_results;  // two per iteration
   double max_delta = 0;                               // last iteration
@@ -49,6 +50,22 @@ engine::JobResult run_hamr_iteration(BenchEnv& env, const StagedInput& input,
                                      const Params& params, uint32_t iteration,
                                      bool reload = false);
 double max_delta(BenchEnv& env);
+
+// Dataset-cache iterative chain (DESIGN.md §15): iteration 0 parses the edge
+// file, builds adjacency, and publishes it as cache dataset "pagerank/adj"
+// (key-partitioned: shard n holds the srcs whose reduce ran on node n).
+// Iterations >= 1 pin the dataset and stream contributions straight from the
+// resident blocks over a shuffle-free local edge. A pin miss - eviction or a
+// mid-chain invalidation - falls back transparently to the cold build (which
+// re-publishes). Ranks are byte-identical to the cold path: contribution
+// sums are order-canonicalized, so the arrival order the cache changes
+// cannot change a double.
+RunInfo run_hamr_cached(BenchEnv& env, const StagedInput& input,
+                        const Params& params);
+engine::JobResult run_hamr_cached_iteration(BenchEnv& env,
+                                            const StagedInput& input,
+                                            const Params& params,
+                                            uint32_t iteration);
 RunInfo run_baseline(BenchEnv& env, const StagedInput& input, const Params& params);
 
 // page id -> final rank (pages absent from the result keep 1/P).

@@ -65,6 +65,11 @@ void FlowletGraph::validate() const {
       throw std::invalid_argument("combine edge into non-partial-reduce '" +
                                   nodes_[edge.dst].name + "'");
     }
+    if (edge.options.combine && edge.options.tap) {
+      throw std::invalid_argument(
+          "tap on combine edge into '" + nodes_[edge.dst].name +
+          "': combined records have no per-record destination");
+    }
   }
   // Cycle check == topological sort succeeding.
   (void)topological_order();

@@ -31,6 +31,17 @@ struct EdgeOptions {
   // install one built from sampled boundaries; must be deterministic and
   // identical on every node. Ignored for local edges.
   std::function<uint32_t(std::string_view, uint32_t)> partitioner;
+  // Sender-side observer invoked once per emitted record, after routing,
+  // with the record's destination node. The dataset cache uses it to publish
+  // a flowlet's output shard-by-shard with the exact shard->node mapping the
+  // edge produced (src/cache/). Taps see each record exactly once: task
+  // crashes are injected before flowlet code runs, and the reliable channel
+  // dedups delivered bins, so retried sends never replay the emit. Not valid
+  // together with `combine` (combined records fold before routing, so no
+  // per-record destination exists); validate() rejects the combination.
+  std::function<void(uint32_t dst_node, std::string_view key,
+                     std::string_view value)>
+      tap;
 };
 
 // Shorthand for a locality-preserving edge.

@@ -73,20 +73,27 @@ class TaskContext : public Context {
         : edge.options.partitioner
             ? edge.options.partitioner(key, num_nodes()) % num_nodes()
             : partition_of(key, num_nodes());
+    if (edge.options.tap) edge.options.tap(dst, key, value);
     add_record(edge.id, dst, key, value);
   }
 
   void emit_to_node(uint32_t port, NodeId node, std::string_view key,
                     std::string_view value) override {
     require_emit();
-    add_record(out_edge(port).id, node % num_nodes(), key, value);
+    const GraphEdge& edge = out_edge(port);
+    const NodeId dst = node % num_nodes();
+    if (edge.options.tap) edge.options.tap(dst, key, value);
+    add_record(edge.id, dst, key, value);
   }
 
   void emit_broadcast(uint32_t port, std::string_view key,
                       std::string_view value) override {
     require_emit();
-    const EdgeId edge = out_edge(port).id;
-    for (NodeId n = 0; n < num_nodes(); ++n) add_record(edge, n, key, value);
+    const GraphEdge& edge = out_edge(port);
+    for (NodeId n = 0; n < num_nodes(); ++n) {
+      if (edge.options.tap) edge.options.tap(n, key, value);
+      add_record(edge.id, n, key, value);
+    }
   }
 
   NodeId node() const override { return rt_->node_id(); }
@@ -106,6 +113,7 @@ class TaskContext : public Context {
       flush_builder(static_cast<NodeId>(slot % nodes_), builders_[slot]);
     }
     charge_combine_gates();
+    flush_record_count();
   }
 
  private:
@@ -116,9 +124,18 @@ class TaskContext : public Context {
     }
   }
 
-  const GraphEdge& out_edge(uint32_t port) const {
+  // Emits run once per record; resolving port -> graph edge through two
+  // bounds-checked vector hops each time showed up in profiles, so the
+  // resolved pointers are cached per port after the first lookup.
+  const GraphEdge& out_edge(uint32_t port) {
+    if (port < out_edges_.size() && out_edges_[port] != nullptr) {
+      return *out_edges_[port];
+    }
     const GraphNode& node = job_->graph->flowlet(fid_);
-    return job_->graph->edge(node.out_edges.at(port));
+    const GraphEdge& edge = job_->graph->edge(node.out_edges.at(port));
+    if (out_edges_.size() <= port) out_edges_.resize(port + 1, nullptr);
+    out_edges_[port] = &edge;
+    return edge;
   }
 
   void add_record(EdgeId edge, NodeId dst, std::string_view key,
@@ -126,7 +143,10 @@ class TaskContext : public Context {
     BinBuilder& builder = builders_[static_cast<size_t>(edge) * nodes_ + dst];
     if (!builder.is_open()) builder.open(job_->epoch, edge, rt_->pool_.get());
     builder.add(key, value);
-    rt_->records_c_->inc();
+    // Counted locally and charged to the shared counter per flushed bin /
+    // at task end - one atomic per record was measurable on 10^6-record
+    // shuffles.
+    ++records_pending_;
     if (builder.payload_bytes() >= rt_->config_.bin_size_bytes) {
       flush_builder(dst, builder);
     }
@@ -134,6 +154,7 @@ class TaskContext : public Context {
 
   void flush_builder(NodeId dst, BinBuilder& builder) {
     if (builder.empty()) return;
+    flush_record_count();
     // The sealed bin becomes a shared body: transport queues and the
     // retransmission slot all reference these bytes, never copy them.
     std::shared_ptr<std::string> bin = builder.take_shared(rt_->pool_);
@@ -141,6 +162,12 @@ class TaskContext : public Context {
     rt_->bin_bytes_c_->add(bin->size());
     rt_->enqueue_out(dst, rt_->bin_type_,
                      net::Payload::with_body(std::string(), std::move(bin)));
+  }
+
+  void flush_record_count() {
+    if (records_pending_ == 0) return;
+    rt_->records_c_->add(records_pending_);
+    records_pending_ = 0;
   }
 
   // Sender-side combining: fold into the node-shared combine table for this
@@ -189,6 +216,8 @@ class TaskContext : public Context {
   bool allow_emit_;
   uint32_t nodes_;
   std::vector<BinBuilder> builders_;  // indexed by edge * nodes_ + dst
+  std::vector<const GraphEdge*> out_edges_;  // per-port cache, lazily filled
+  uint64_t records_pending_ = 0;
   std::map<RateGate*, uint64_t> combine_gate_debt_;
 };
 
@@ -786,32 +815,50 @@ void NodeRuntime::fold_partial_bin(FlowletId flowlet, internal::FlowletState& fs
 
 void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs,
                                    BinView& bin) {
+  // Bucket the bin's records by sub-partition first, then stage each bucket
+  // under a single lock acquisition. Bins carry hundreds of records, and the
+  // per-record lock/unlock plus spill bookkeeping used to dominate the
+  // shuffle receive path. Record views stay valid while `bin` is alive.
+  const uint32_t num_stages = std::max(1u, config_.reduce_subpartitions);
+  thread_local std::vector<std::vector<KvPair>> buckets;
+  if (buckets.size() < num_stages) buckets.resize(num_stages);
   KvPair record;
   while (bin.next(&record)) {
-    const uint32_t si = stage_of(record.key, config_.reduce_subpartitions);
+    buckets[stage_of(record.key, config_.reduce_subpartitions)].push_back(record);
+  }
+
+  for (uint32_t si = 0; si < num_stages; ++si) {
+    std::vector<KvPair>& bucket = buckets[si];
+    if (bucket.empty()) continue;
     internal::ReduceStage& stage = *fs.stages[si];
+    uint64_t batch_bytes = 0;
+    for (const KvPair& r : bucket) {
+      batch_bytes += r.key.size() + r.value.size() + 16;
+    }
     uint64_t spill_bytes = 0;
     Arena spill_arena;
     std::vector<internal::ReduceStage::Rec> to_spill;
     std::string spill_file;
     {
       std::lock_guard<std::mutex> lock(stage.mu);
-      // One arena bump holds key and value contiguously; the index entry
-      // caches an 8-byte key prefix so the pre-reduce sort is mostly
-      // integer compares.
-      char* data = stage.arena.alloc(record.key.size() + record.value.size());
-      std::memcpy(data, record.key.data(), record.key.size());
-      std::memcpy(data + record.key.size(), record.value.data(),
-                  record.value.size());
-      internal::ReduceStage::Rec rec;
-      rec.prefix = internal::key_prefix(record.key);
-      rec.key_len = static_cast<uint32_t>(record.key.size());
-      rec.value_len = static_cast<uint32_t>(record.value.size());
-      rec.data = data;
-      stage.index.push_back(rec);
-      const uint64_t rec_bytes = record.key.size() + record.value.size() + 16;
-      stage.bytes += rec_bytes;
-      staged_bytes_.fetch_add(rec_bytes);
+      for (const KvPair& r : bucket) {
+        // One arena bump holds key and value contiguously; the index entry
+        // caches an 8-byte key prefix so the pre-reduce sort is mostly
+        // integer compares.
+        char* data = stage.arena.alloc(r.key.size() + r.value.size());
+        std::memcpy(data, r.key.data(), r.key.size());
+        std::memcpy(data + r.key.size(), r.value.data(), r.value.size());
+        internal::ReduceStage::Rec rec;
+        rec.prefix = internal::key_prefix(r.key);
+        rec.key_len = static_cast<uint32_t>(r.key.size());
+        rec.value_len = static_cast<uint32_t>(r.value.size());
+        rec.data = data;
+        stage.index.push_back(rec);
+      }
+      stage.bytes += batch_bytes;
+      staged_bytes_.fetch_add(batch_bytes);
+      // Spill check per batch, not per record: the budget can overshoot by
+      // at most one bin's worth of records.
       const uint64_t min_spill =
           config_.memory_budget_bytes / (4ull * std::max(1u, config_.reduce_subpartitions));
       if (staged_bytes_.load() > config_.memory_budget_bytes &&
@@ -827,6 +874,7 @@ void NodeRuntime::stage_reduce_bin(FlowletId flowlet, internal::FlowletState& fs
         stage.spill_paths.push_back(spill_file);
       }
     }
+    bucket.clear();
     if (!to_spill.empty()) {
       staged_bytes_.fetch_sub(spill_bytes);
       obs::TraceSpan span("spill.write", "engine.spill", node_id(), flowlet,

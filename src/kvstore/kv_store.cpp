@@ -19,13 +19,20 @@ const LocalStore::Shard& LocalStore::shard_for(std::string_view key) const {
 void LocalStore::put(std::string_view key, std::string_view value) {
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
-  s.map[std::string(key)] = std::string(value);
+  // Overwrites (e.g. per-iteration rank updates) reuse the existing key
+  // string and value capacity instead of allocating both afresh.
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    s.map.emplace(std::string(key), std::string(value));
+  } else {
+    it->second.assign(value.data(), value.size());
+  }
 }
 
 Result<std::string> LocalStore::get(std::string_view key) const {
   const Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
-  auto it = s.map.find(std::string(key));
+  auto it = s.map.find(key);
   if (it == s.map.end()) return Status::NotFound("kv key");
   return it->second;
 }
@@ -33,13 +40,17 @@ Result<std::string> LocalStore::get(std::string_view key) const {
 void LocalStore::append(std::string_view key, std::string_view value) {
   Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
-  s.map[std::string(key)] += encode_list_element(value);
+  auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    it = s.map.emplace(std::string(key), std::string()).first;
+  }
+  it->second += encode_list_element(value);
 }
 
 std::vector<std::string> LocalStore::get_list(std::string_view key) const {
   const Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
-  auto it = s.map.find(std::string(key));
+  auto it = s.map.find(key);
   if (it == s.map.end()) return {};
   return decode_list(it->second);
 }
@@ -47,7 +58,7 @@ std::vector<std::string> LocalStore::get_list(std::string_view key) const {
 bool LocalStore::contains(std::string_view key) const {
   const Shard& s = shard_for(key);
   std::lock_guard<std::mutex> lock(s.mu);
-  return s.map.count(std::string(key)) > 0;
+  return s.map.find(key) != s.map.end();
 }
 
 void LocalStore::clear_namespace(std::string_view prefix) {

@@ -65,9 +65,18 @@ class LocalStore {
   uint64_t bytes() const;
 
  private:
+  // Transparent hash/equal: gets and contains-checks look keys up with the
+  // caller's string_view directly - no temporary std::string per probe
+  // (these run on flowlet hot paths, e.g. one get per PageRank record).
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_map<std::string, std::string> map;
+    std::unordered_map<std::string, std::string, StringHash, std::equal_to<>> map;
   };
   Shard& shard_for(std::string_view key);
   const Shard& shard_for(std::string_view key) const;

@@ -44,6 +44,10 @@ const char* to_string(EventKind kind) {
       return "watermark_advance";
     case EventKind::kWindowEmit:
       return "window_emit";
+    case EventKind::kDatasetPin:
+      return "dataset_pin";
+    case EventKind::kDatasetEvict:
+      return "dataset_evict";
   }
   return "unknown";
 }

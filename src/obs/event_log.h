@@ -55,6 +55,9 @@ enum class EventKind : uint8_t {
   kWindowOpen,          // first record folded for a window; aux = window end (us)
   kWatermarkAdvance,    // operator watermark advanced; aux = new watermark (us)
   kWindowEmit,          // closed window emitted downstream; aux = window end (us)
+  // Cross-job dataset cache (src/cache/, node = 0, flowlet = -1):
+  kDatasetPin,          // pin() hit a resident dataset; aux = generation
+  kDatasetEvict,        // resident dataset dropped (LRU or invalidate); aux = bytes
 };
 
 const char* to_string(EventKind kind);

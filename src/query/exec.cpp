@@ -4,6 +4,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "cache/dataset_cache.h"
 #include "common/bytes.h"
 #include "serde/batch.h"
 
@@ -246,6 +247,44 @@ class RowScanLoader : public engine::LoaderFlowlet {
   std::map<std::string, std::shared_ptr<const std::string>> cache_;
 };
 
+// Scan over a dataset-cache-resident staged table: each record value is one
+// encode_row_block frame, decoded straight from the pinned block buffers -
+// no store read, no per-query re-stage. The held pin keeps the dataset
+// resident (and its buffers valid) for the life of the job.
+class CachedRowScanLoader : public engine::LoaderFlowlet {
+ public:
+  CachedRowScanLoader(std::shared_ptr<const ScanCompiled> c,
+                      std::shared_ptr<const cache::Dataset> dataset)
+      : c_(std::move(c)), dataset_(std::move(dataset)) {}
+
+  bool load_chunk(const engine::InputSplit& split, uint64_t* cursor,
+                  engine::Context& ctx) override {
+    const uint32_t shard_idx = static_cast<uint32_t>(split.user_tag);
+    if (shard_idx >= dataset_->nodes()) return false;
+    const cache::Dataset::Shard& shard = dataset_->shard(shard_idx);
+    cache::ShardCursor sc;
+    sc.packed = *cursor;
+    uint64_t produced = 0;
+    std::string_view key;
+    std::string_view block;
+    bool more = true;
+    while (produced < c_->rows_per_chunk &&
+           (more = cache::next_record(shard, &sc, &key, &block))) {
+      std::vector<Row> rows = c_->table_schema.decode_row_block(block);
+      produced += rows.size();
+      for (Row& row : rows) {
+        if (c_->pipeline.apply(&row)) c_->emit.emit_row(row, ctx);
+      }
+    }
+    *cursor = sc.packed;
+    return more;
+  }
+
+ private:
+  const std::shared_ptr<const ScanCompiled> c_;
+  const std::shared_ptr<const cache::Dataset> dataset_;
+};
+
 // Fused filter/project chain above a join or group-by, fed over a local
 // edge. Stateless, so concurrent process() calls need no synchronization.
 class FusedMap : public engine::MapFlowlet {
@@ -352,6 +391,14 @@ class SinkFlowlet : public engine::MapFlowlet {
 
 engine::FlowletFactory make_scan_loader(std::shared_ptr<const ScanCompiled> c) {
   return [c] { return std::make_unique<RowScanLoader>(c); };
+}
+
+engine::FlowletFactory make_cached_scan_loader(
+    std::shared_ptr<const ScanCompiled> c,
+    std::shared_ptr<const cache::Dataset> dataset) {
+  return [c, dataset] {
+    return std::make_unique<CachedRowScanLoader>(c, dataset);
+  };
 }
 
 engine::FlowletFactory make_fused_map(std::shared_ptr<const MapCompiled> c) {

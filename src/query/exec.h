@@ -32,6 +32,10 @@
 #include "engine/flowlet.h"
 #include "query/plan.h"
 
+namespace hamr::cache {
+class Dataset;
+}  // namespace hamr::cache
+
 namespace hamr::query {
 
 // Staged shard of a table for one node: each row framed as
@@ -98,6 +102,15 @@ struct ScanCompiled {
   uint64_t rows_per_chunk = 512;
 };
 engine::FlowletFactory make_scan_loader(std::shared_ptr<const ScanCompiled> c);
+
+// Scan over a dataset-cache-resident staged table instead of shard files:
+// each cached record's value is one framed row block (the same
+// encode_row_block bytes the file shards hold), decoded straight out of the
+// pinned buffers - zero disk reads per query. Splits come from
+// cache::add_scan_splits (shard index in user_tag).
+engine::FlowletFactory make_cached_scan_loader(
+    std::shared_ptr<const ScanCompiled> c,
+    std::shared_ptr<const cache::Dataset> dataset);
 
 struct MapCompiled {
   Schema in_schema;

@@ -3,18 +3,73 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cache/scan_loader.h"
 #include "query/exec.h"
+#include "serde/batch.h"
 
 namespace hamr::query {
 
+namespace {
+
+// Cache dataset name for a staged table. Deliberately tag-free: the tag is
+// per-query, and the whole point is sharing one staging across queries.
+std::string staged_dataset_name(const std::string& table) {
+  return "query/staged/" + table;
+}
+
+// Publishes a table's shards to the dataset cache: record value = one
+// encode_row_block frame, sharded exactly like the file path (row i on node
+// i mod nodes). Returns the pinned dataset, or null if the commit lost an
+// invalidation race (caller falls back to file staging).
+std::shared_ptr<const cache::Dataset> publish_staged_table(
+    cache::DatasetCache& cache, const Table& table, const std::string& name,
+    uint32_t nodes) {
+  cache::PublishOptions options;
+  options.stamp = table.rows.size();
+  auto writer = cache.begin(staged_dataset_name(name), options);
+  for (uint32_t n = 0; n < nodes; ++n) {
+    const std::string shard = encode_table_shard(table, n, nodes);
+    std::string_view view = shard;
+    size_t pos = 0;
+    std::vector<std::string_view> blocks;
+    while (serde::get_framed_run(view, &pos, 1, &blocks) != 0) {
+      writer->append(n, "", blocks[0]);
+      blocks.clear();
+    }
+  }
+  if (!writer->commit()) return nullptr;
+  return cache.pin(staged_dataset_name(name), options.stamp);
+}
+
+}  // namespace
+
 StagedTables stage_tables(cluster::Cluster& cluster, const Catalog& catalog,
                           const std::vector<std::string>& tables,
-                          const std::string& tag) {
+                          const std::string& tag, cache::DatasetCache* cache) {
   StagedTables staged;
   staged.prefix = "input/query/" + tag + "/";
   staged.nodes = cluster.size();
   for (const std::string& name : tables) {
     const Table& table = catalog.at(name);
+    if (cache != nullptr) {
+      // The stamp pins the dataset to this table's current cardinality: a
+      // re-loaded catalog with different rows misses and re-publishes.
+      std::shared_ptr<const cache::Dataset> dataset =
+          cache->pin(staged_dataset_name(name), table.rows.size());
+      if (!dataset) {
+        dataset = publish_staged_table(*cache, table, name, staged.nodes);
+      }
+      if (dataset) {
+        std::vector<uint64_t>& bytes = staged.shard_bytes[name];
+        bytes.resize(staged.nodes);
+        for (uint32_t n = 0; n < staged.nodes; ++n) {
+          bytes[n] = dataset->shard(n).bytes;
+        }
+        staged.cached[name] = std::move(dataset);
+        continue;
+      }
+      // Commit lost an invalidation race: stage on disk like the cold path.
+    }
     std::vector<uint64_t>& bytes = staged.shard_bytes[name];
     bytes.resize(staged.nodes);
     for (uint32_t n = 0; n < staged.nodes; ++n) {
@@ -49,6 +104,18 @@ engine::FlowletId lower_scan_chain(const Plan& base, RowPipeline pipeline,
   compiled->table_schema = ctx.catalog.at(base.table).schema;
   compiled->pipeline = std::move(pipeline);
   compiled->emit = std::move(emit);
+
+  // Cache-resident staging: scan the pinned dataset in place. Placement is
+  // inherited (split n runs on node n, where shard n's blocks live), so the
+  // table moves zero bytes between queries of a session.
+  auto cached = ctx.staged.cached.find(base.table);
+  if (cached != ctx.staged.cached.end()) {
+    const engine::FlowletId loader = ctx.graph.add_loader(
+        "QueryCachedScan(" + base.table + ")",
+        make_cached_scan_loader(compiled, cached->second));
+    cache::add_scan_splits(&ctx.inputs, loader, *cached->second);
+    return loader;
+  }
 
   const engine::FlowletId loader = ctx.graph.add_loader(
       "QueryScan(" + base.table + ")", make_scan_loader(compiled));
@@ -223,9 +290,11 @@ std::vector<Row> decode_payload(const Schema& schema,
 }
 
 std::vector<Row> run_on_engine(engine::Engine& engine, const Plan& plan,
-                               const Catalog& catalog, const std::string& tag) {
+                               const Catalog& catalog, const std::string& tag,
+                               cache::DatasetCache* cache) {
+  // `staged` holds the pins through the run, keeping cached tables resident.
   const StagedTables staged =
-      stage_tables(engine.cluster(), catalog, scan_tables(plan), tag);
+      stage_tables(engine.cluster(), catalog, scan_tables(plan), tag, cache);
   Lowered lowered = lower(plan, catalog, staged, tag);
   engine.run(lowered.graph, lowered.inputs);
   return decode_payload(
@@ -237,14 +306,20 @@ SubmittedQuery submit_query(service::JobService& service,
                             cluster::Cluster& cluster, const Plan& plan,
                             const Catalog& catalog,
                             const service::JobSpec& spec,
-                            const std::string& tag) {
+                            const std::string& tag,
+                            cache::DatasetCache* cache) {
   const StagedTables staged =
-      stage_tables(cluster, catalog, scan_tables(plan), tag);
+      stage_tables(cluster, catalog, scan_tables(plan), tag, cache);
   Lowered lowered = lower(plan, catalog, staged, tag);
 
   service::JobWork work;
   work.graph = std::move(lowered.graph);
   work.inputs = std::move(lowered.inputs);
+  // The service holds the pins until the job is terminal: eviction cannot
+  // reclaim a staged table out from under a queued or running query.
+  for (const auto& [table, dataset] : staged.cached) {
+    work.pins.push_back(dataset);
+  }
   const std::string out_prefix = lowered.out_prefix;
   work.collect = [out_prefix](engine::Engine& engine) {
     return collect_output_payload(engine.cluster(), out_prefix);

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/dataset_cache.h"
 #include "cluster/cluster.h"
 #include "engine/engine.h"
 #include "query/plan.h"
@@ -34,19 +35,33 @@
 namespace hamr::query {
 
 // Where a query's input tables were staged: one shard file per node at
-// "input/query/<tag>/<table>", shard i holding rows i mod nodes.
+// "input/query/<tag>/<table>", shard i holding rows i mod nodes - or, for
+// tables found in (or published to) the dataset cache, a pinned resident
+// dataset "query/staged/<table>" whose records are the same framed row
+// blocks, with no files written at all.
 struct StagedTables {
   std::string prefix;  // "input/query/<tag>/"
   uint32_t nodes = 0;
   // Per-table shard sizes in bytes, indexed by node.
   std::map<std::string, std::vector<uint64_t>> shard_bytes;
+  // Pinned cache datasets (held for the staging's lifetime) for tables that
+  // skipped file staging. Lowering scans these via CachedRowScanLoader.
+  std::map<std::string, std::shared_ptr<const cache::Dataset>> cached;
 
   std::string path_of(const std::string& table) const { return prefix + table; }
 };
 
+// Stages each table's rows for scanning. With a dataset cache, a table whose
+// dataset "query/staged/<table>" is already resident (stamp = row count) is
+// pinned and reused verbatim - multi-query sessions over one table stage it
+// once instead of re-writing shard files per query. On a miss the shards are
+// published to the cache (then pinned) instead of written to disk; only when
+// the cache is absent (or a commit loses an invalidation race) does the
+// original per-query file staging run.
 StagedTables stage_tables(cluster::Cluster& cluster, const Catalog& catalog,
                           const std::vector<std::string>& tables,
-                          const std::string& tag);
+                          const std::string& tag,
+                          cache::DatasetCache* cache = nullptr);
 
 struct Lowered {
   engine::FlowletGraph graph;
@@ -68,9 +83,11 @@ std::vector<Row> decode_payload(const Schema& schema, std::string_view payload);
 
 // One-shot engine path: stage + lower + Engine::run + collect. `tag` keys
 // the staged inputs and output files, so back-to-back queries on one
-// cluster must use distinct tags.
+// cluster must use distinct tags. With `cache`, staged tables are served
+// from (and published to) the dataset cache instead of per-query files.
 std::vector<Row> run_on_engine(engine::Engine& engine, const Plan& plan,
-                               const Catalog& catalog, const std::string& tag);
+                               const Catalog& catalog, const std::string& tag,
+                               cache::DatasetCache* cache = nullptr);
 
 // Service path: stage + lower + JobService::submit. The returned ticket's
 // payload() (valid once kDone) decodes with decode_payload(out_schema, ...).
@@ -79,10 +96,13 @@ struct SubmittedQuery {
   Schema out_schema;
 };
 
+// With `cache`, staged tables are cache-resident and their pins ride in the
+// JobWork so the datasets stay resident until the job is terminal.
 SubmittedQuery submit_query(service::JobService& service,
                             cluster::Cluster& cluster, const Plan& plan,
                             const Catalog& catalog,
                             const service::JobSpec& spec,
-                            const std::string& tag);
+                            const std::string& tag,
+                            cache::DatasetCache* cache = nullptr);
 
 }  // namespace hamr::query

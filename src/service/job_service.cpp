@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "cache/dataset_cache.h"
 #include "common/logging.h"
 #include "net/message.h"
 #include "obs/metrics_snapshot.h"
@@ -372,6 +373,25 @@ void JobService::finalize(const std::shared_ptr<Job>& job, JobStatus status,
     default:
       break;
   }
+  // Resolve cache publications at the terminal transition: success commits
+  // the writer's generation; every other outcome aborts it AND invalidates
+  // the name's resident generation, so readers chained on this job's output
+  // fall back to a cold load instead of consuming a snapshot the failed
+  // writer was supposed to replace (DESIGN.md §15).
+  for (auto& writer : job->work.publish) {
+    if (!writer) continue;
+    if (status == JobStatus::kDone) {
+      writer->commit();
+    } else {
+      writer->abort();
+      if (config_.dataset_cache != nullptr) {
+        config_.dataset_cache->invalidate(writer->name());
+      }
+    }
+  }
+  job->work.publish.clear();
+  // Cross-job read leases end with the job; eviction may reclaim now.
+  job->work.pins.clear();
   // Service-scoped observability rides along in the job's metric snapshot
   // (names are disjoint from the engine.* counters already in there).
   result.metrics.merge_from(obs::MetricsSnapshot::capture(metrics_));

@@ -41,6 +41,12 @@
 #include "engine/engine.h"
 #include "obs/event_log.h"
 
+namespace hamr::cache {
+class Dataset;
+class DatasetCache;
+class DatasetWriter;
+}  // namespace hamr::cache
+
 namespace hamr::service {
 
 // Wire-stable values (the RPC front-end ships them as a single byte).
@@ -81,6 +87,17 @@ struct JobWork {
   Duration stream_duration = Duration::zero();  // > 0 = streaming job
   Duration window_every = Duration::zero();
   std::function<std::string(engine::Engine&)> collect;
+
+  // Cross-job dataset cache hooks (src/cache/, DESIGN.md §15). `pins` are
+  // read leases the service holds from dispatch until the job is terminal,
+  // so a dataset the graph scans cannot be evicted mid-run. `publish` are
+  // writers the graph appends to (via EdgeOptions taps or flowlet code):
+  // the service commits them when the job succeeds; on failure, cancel, or
+  // deadline it aborts them AND invalidates the name's resident generation,
+  // because a failed writer may have been re-deriving state whose upstream
+  // already changed (readers of a stale chain must fall back cold).
+  std::vector<std::shared_ptr<const cache::Dataset>> pins;
+  std::vector<std::shared_ptr<cache::DatasetWriter>> publish;
 };
 
 using JobBuilder = std::function<JobWork(const JobSpec&)>;
@@ -168,6 +185,11 @@ struct ServiceConfig {
   // Optional lifecycle log (not owned). Job events are recorded as node 0,
   // flowlet = job id; the engine template's event_log defaults to this too.
   obs::EventLog* event_log = nullptr;
+
+  // Optional cross-job dataset cache (not owned; shared by all lanes). Needed
+  // for the writer-failure invalidation path; jobs that only pin may leave it
+  // null (pins release through their own handles).
+  cache::DatasetCache* dataset_cache = nullptr;
 };
 
 class JobService {

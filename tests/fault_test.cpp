@@ -259,6 +259,76 @@ TEST(Chaos, PageRankSurvivesChaosWithIdenticalRanks) {
   EXPECT_GT(faults, 0u);
 }
 
+TEST(Chaos, CachedPageRankStaysByteIdenticalUnderChaos) {
+  // The dataset-cache iterative chain (DESIGN.md §15) under the standard 5%
+  // message chaos + 2% task-crash plan: final ranks must be EXACTLY the
+  // clean cold path's - the cache changes where contributions come from
+  // (resident blocks vs. KV store), never what they sum to, and recovery
+  // must not replay a published record (taps fire once per emitted record).
+  gen::WebGraphSpec spec;
+  spec.num_pages = 256;
+  spec.num_edges = 2048;
+  apps::pagerank::Params params;
+  params.num_pages = spec.num_pages;
+  params.iterations = 3;
+
+  apps::BenchEnv clean = apps::BenchEnv::fast(4);
+  auto shards = apps::make_shards(clean.nodes(), [&](uint32_t i) {
+    return gen::web_graph_shard(spec, i, 4);
+  });
+  auto staged_clean = apps::stage_input(clean, "pr_cc", shards, 16 * 1024);
+  apps::pagerank::run_hamr(clean, staged_clean, params);
+  const auto expected = apps::pagerank::hamr_ranks(clean, params);
+
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/19, /*msg_rate=*/0.05,
+                                         /*crash_rate=*/0.02));
+  auto staged = apps::stage_input(chaos.env, "pr_cc", shards, 16 * 1024);
+  auto info = apps::pagerank::run_hamr_cached(chaos.env, staged, params);
+  EXPECT_EQ(apps::pagerank::hamr_ranks(chaos.env, params), expected);
+
+  uint64_t faults = 0;
+  for (const auto& r : info.engine_results) faults += r.faults_injected;
+  EXPECT_GT(faults, 0u);
+  // The warm iterations really served from the cache, chaos notwithstanding.
+  EXPECT_GE(chaos.env.dataset_cache->stats().hits, 2u);
+}
+
+TEST(Chaos, CacheInvalidationMidChainForcesColdFallbackByteIdentical) {
+  // Crash-invalidates-generation scenario: the adjacency dataset vanishes
+  // between iterations (as the JobService does when a publishing job fails).
+  // The next iteration must miss, rebuild cold under the same chaos plan,
+  // republish, and the chain's final ranks must still be exact.
+  gen::WebGraphSpec spec;
+  spec.num_pages = 256;
+  spec.num_edges = 2048;
+  apps::pagerank::Params params;
+  params.num_pages = spec.num_pages;
+  params.iterations = 3;
+
+  apps::BenchEnv clean = apps::BenchEnv::fast(4);
+  auto shards = apps::make_shards(clean.nodes(), [&](uint32_t i) {
+    return gen::web_graph_shard(spec, i, 4);
+  });
+  auto staged_clean = apps::stage_input(clean, "pr_ci", shards, 16 * 1024);
+  apps::pagerank::run_hamr(clean, staged_clean, params);
+  const auto expected = apps::pagerank::hamr_ranks(clean, params);
+
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/41, /*msg_rate=*/0.05,
+                                         /*crash_rate=*/0.02));
+  auto staged = apps::stage_input(chaos.env, "pr_ci", shards, 16 * 1024);
+  apps::pagerank::clear_pagerank_state(chaos.env);
+  apps::pagerank::run_hamr_cached_iteration(chaos.env, staged, params, 0);
+  apps::pagerank::run_hamr_cached_iteration(chaos.env, staged, params, 1);
+  chaos.env.dataset_cache->invalidate("pagerank/adj");
+  const auto misses_before = chaos.env.dataset_cache->stats().misses;
+  apps::pagerank::run_hamr_cached_iteration(chaos.env, staged, params, 2);
+
+  EXPECT_GT(chaos.env.dataset_cache->stats().misses, misses_before);
+  EXPECT_NE(chaos.env.dataset_cache->pin("pagerank/adj"), nullptr);
+  EXPECT_EQ(apps::pagerank::hamr_ranks(chaos.env, params), expected);
+  EXPECT_GT(chaos.injector.stats().total(), 0u);
+}
+
 TEST(Chaos, ExplicitCrashPointsAreRetriedToCompletion) {
   fault::FaultPlan plan;
   // The wordcount graph is loader(0) -> splitter map(1) -> count(2); crash
