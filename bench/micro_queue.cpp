@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "apps/common.h"
+#include "apps/wordcount.h"
 #include "common/metrics.h"
 #include "common/queue.h"
 #include "common/thread_pool.h"
@@ -220,6 +222,58 @@ static void BM_ShardedSchedulerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardedSchedulerThroughput)
     ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// --- fused vs unfused pipeline dispatch --------------------------------------
+//
+// The same WordCount job through the shape-preserving IR lowering (three
+// flowlets, loader->splitter bins crossing the scheduler) and through the
+// standard pass pipeline (loader+splitter fused into one task body, those
+// bins gone). Identical input and output; the delta is pure per-bin dispatch
+// overhead, which is what fusion exists to remove. CI's bench-smoke extracts
+// the pair from the JSON artifact as the fused-pipeline regression signal.
+
+namespace {
+
+constexpr uint32_t kWcNodes = 4;
+constexpr int kWcLinesPerShard = 200;
+
+std::vector<std::string> wordcount_shards() {
+  return apps::make_shards(kWcNodes, [](uint32_t i) {
+    std::string s;
+    for (int line = 0; line < kWcLinesPerShard; ++line) {
+      s += "the quick brown fox jumps over w" + std::to_string(i) + " w" +
+           std::to_string(line % 13) + "\n";
+    }
+    return s;
+  });
+}
+
+void run_wordcount_pipeline(benchmark::State& state, bool fused) {
+  apps::BenchEnv env = apps::BenchEnv::fast(kWcNodes, 2);
+  const apps::StagedInput input =
+      apps::stage_input(env, "wc_micro", wordcount_shards(), 4 * 1024);
+  uint64_t bytes = 0;
+  for (auto _ : state) {
+    apps::wordcount::run_hamr(env, input, /*combine=*/false,
+                              /*use_full_reduce=*/false, fused);
+    bytes += input.total_bytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+
+}  // namespace
+
+static void BM_WordCountUnfusedPipeline(benchmark::State& state) {
+  run_wordcount_pipeline(state, /*fused=*/false);
+}
+BENCHMARK(BM_WordCountUnfusedPipeline)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+static void BM_WordCountFusedPipeline(benchmark::State& state) {
+  run_wordcount_pipeline(state, /*fused=*/true);
+}
+BENCHMARK(BM_WordCountFusedPipeline)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -9,6 +9,8 @@
 
 #include "cache/scan_loader.h"
 #include "engine/loaders.h"
+#include "ir/lower.h"
+#include "ir/passes.h"
 
 namespace hamr::apps::pagerank {
 
@@ -300,6 +302,30 @@ class AggReducer : public mapreduce::Reducer {
   double base_;
 };
 
+// Appends the shared iteration tail to an IR chain: contributions shuffle
+// into MergeRed, whose per-key |delta| records feed ContMap over a local
+// edge (the driver maxes across all node files, so locality is free) - the
+// fuse_maps pass collapses the pair into one reduce-side task body.
+void append_merge_tail(ir::Graph& graph, ir::NodeId head, const Params& params) {
+  const auto merge = graph.add_reduce(
+      "MergeRed",
+      [&params] { return std::make_unique<MergeRed>(params.num_pages); },
+      {"page", "contrib8"}, {"page", "delta"});
+  graph.node(merge).effect = true;  // stores updated ranks in the shared KV
+  const auto cont = graph.add_map(
+      "ContMap", [] { return std::make_unique<ContMap>(); }, {"page", "delta"});
+  graph.node(cont).effect = true;  // writes out/pagerank/delta_node<id>
+  graph.connect(head, merge);
+  graph.connect(merge, cont, ir::local_attrs());
+}
+
+// Optimizes (operator fusion et al.) and lowers an iteration chain, folding
+// any splits already attached to IR source nodes into the job inputs.
+engine::JobResult run_chain(BenchEnv& env, ir::Graph graph) {
+  const ir::Lowered lowered = ir::lower(ir::optimize(std::move(graph)));
+  return env.engine->run(lowered.graph, lowered.inputs);
+}
+
 double collect_max_delta(BenchEnv& env) {
   double max_delta = 0;
   for (const auto& [key, value] :
@@ -362,9 +388,8 @@ engine::JobResult run_hamr_cached_iteration(BenchEnv& env,
   std::shared_ptr<const cache::Dataset> adj =
       iteration == 0 ? nullptr : dcache.pin(kAdjDataset);
 
-  engine::FlowletGraph graph;
-  engine::JobInputs inputs;
-  uint32_t head;
+  ir::Graph graph;
+  ir::NodeId head;
   std::shared_ptr<cache::DatasetWriter> writer;
   if (!adj) {
     // Cold path: parse the edge file, build adjacency, and republish it for
@@ -373,38 +398,49 @@ engine::JobResult run_hamr_cached_iteration(BenchEnv& env,
     cache::PublishOptions options;
     options.key_partitioned = true;
     writer = dcache.begin(kAdjDataset, options);
-    const auto loader = graph.add_loader(
-        "EdgeFileLoader", [] { return std::make_unique<engine::TextLoader>(); });
-    const auto parse =
-        graph.add_map("EdgeMap", [] { return std::make_unique<EdgeMap>(); });
-    const auto join = graph.add_reduce("HashJoinRed", [&params, writer] {
-      return std::make_unique<HashJoinRed>(params.num_pages, writer);
-    });
-    graph.connect(loader, parse, engine::local_edge());
+    const auto loader = graph.add_source(
+        "EdgeFileLoader", [] { return std::make_unique<engine::TextLoader>(); },
+        {"", "edge-line"});
+    graph.node(loader).splits = input.splits;
+    const auto parse = graph.add_map(
+        "EdgeMap", [] { return std::make_unique<EdgeMap>(); },
+        {"", "edge-line"}, {"page", "page"});
+    const auto join = graph.add_reduce(
+        "HashJoinRed",
+        [&params, writer] {
+          return std::make_unique<HashJoinRed>(params.num_pages, writer);
+        },
+        {"page", "page"}, {"page", "contrib8"});
+    graph.node(join).effect = true;  // publishes adjacency to the cache
+    graph.connect(loader, parse, ir::local_attrs());
     graph.connect(parse, join);
-    inputs = inputs_for(loader, input);
     head = join;
   } else {
-    const auto loader = graph.add_loader("AdjCacheScan", [adj] {
-      return std::make_unique<cache::CachedScanLoader>(adj);
-    });
-    cache::add_scan_splits(&inputs, loader, *adj);
-    const auto contrib = graph.add_map("ContribMap", [&params] {
-      return std::make_unique<ContribMap>(params.num_pages);
-    });
-    // Key-partitioned dataset + per-shard placement => shuffle-free edge.
-    graph.connect(loader, contrib, cache::aligned_edge(*adj));
+    const auto loader = graph.add_source(
+        "AdjCacheScan",
+        [adj] { return std::make_unique<cache::CachedScanLoader>(adj); },
+        {"page", "adj"});
+    {
+      engine::JobInputs scan_inputs;
+      cache::add_scan_splits(&scan_inputs, loader, *adj);
+      graph.node(loader).splits = scan_inputs.splits.at(loader);
+    }
+    const auto contrib = graph.add_map(
+        "ContribMap",
+        [&params] { return std::make_unique<ContribMap>(params.num_pages); },
+        {"page", "adj"}, {"page", "contrib8"});
+    // Key-partitioned dataset + per-shard placement => shuffle-free edge,
+    // which is exactly what lets fuse_maps collapse scan+contrib.
+    const engine::EdgeOptions aligned = cache::aligned_edge(*adj);
+    ir::EdgeAttrs attrs;
+    attrs.local = aligned.local;
+    attrs.partitioner = aligned.partitioner;
+    graph.connect(loader, contrib, std::move(attrs));
     head = contrib;
   }
-  const auto merge = graph.add_reduce("MergeRed", [&params] {
-    return std::make_unique<MergeRed>(params.num_pages);
-  });
-  const auto cont =
-      graph.add_map("ContMap", [] { return std::make_unique<ContMap>(); });
-  graph.connect(head, merge);
-  graph.connect(merge, cont);
+  append_merge_tail(graph, head, params);
 
-  engine::JobResult result = env.engine->run(graph, inputs);
+  engine::JobResult result = run_chain(env, std::move(graph));
   // Publish only after the job ran to completion; a run that threw leaves
   // the writer uncommitted and the cache untouched.
   if (writer) writer->commit();
@@ -415,44 +451,39 @@ engine::JobResult run_hamr_iteration(BenchEnv& env, const StagedInput& input,
                                      const Params& params, uint32_t iteration,
                                      bool reload) {
   const uint32_t iter = iteration;
-  {
-    engine::FlowletGraph graph;
-    engine::JobInputs inputs;
-    uint32_t head;
-    if (iter == 0 || reload) {
-      const auto loader = graph.add_loader(
-          "EdgeFileLoader", [] { return std::make_unique<engine::TextLoader>(); });
-      const auto parse =
-          graph.add_map("EdgeMap", [] { return std::make_unique<EdgeMap>(); });
-      const auto join = graph.add_reduce("HashJoinRed", [&params] {
-        return std::make_unique<HashJoinRed>(params.num_pages);
-      });
-      graph.connect(loader, parse, engine::local_edge());
-      graph.connect(parse, join);
-      inputs = inputs_for(loader, input);
-      head = join;
-    } else {
-      const auto loader = graph.add_loader("EdgeLoader", [&params] {
-        return std::make_unique<EdgeLoader>(params.num_pages);
-      });
-      for (uint32_t n = 0; n < env.nodes(); ++n) {
-        engine::InputSplit split;
-        split.path = "pr/adj";
-        split.preferred_node = n;
-        inputs.add(loader, split);
-      }
-      head = loader;
+  ir::Graph graph;
+  ir::NodeId head;
+  if (iter == 0 || reload) {
+    const auto loader = graph.add_source(
+        "EdgeFileLoader", [] { return std::make_unique<engine::TextLoader>(); },
+        {"", "edge-line"});
+    graph.node(loader).splits = input.splits;
+    const auto parse = graph.add_map(
+        "EdgeMap", [] { return std::make_unique<EdgeMap>(); },
+        {"", "edge-line"}, {"page", "page"});
+    const auto join = graph.add_reduce(
+        "HashJoinRed",
+        [&params] { return std::make_unique<HashJoinRed>(params.num_pages); },
+        {"page", "page"}, {"page", "contrib8"});
+    graph.node(join).effect = true;  // stores adjacency in the shared KV
+    graph.connect(loader, parse, ir::local_attrs());
+    graph.connect(parse, join);
+    head = join;
+  } else {
+    const auto loader = graph.add_source(
+        "EdgeLoader",
+        [&params] { return std::make_unique<EdgeLoader>(params.num_pages); },
+        {"page", "contrib8"});
+    for (uint32_t n = 0; n < env.nodes(); ++n) {
+      engine::InputSplit split;
+      split.path = "pr/adj";
+      split.preferred_node = n;
+      graph.node(loader).splits.push_back(std::move(split));
     }
-    const auto merge = graph.add_reduce("MergeRed", [&params] {
-      return std::make_unique<MergeRed>(params.num_pages);
-    });
-    const auto cont =
-        graph.add_map("ContMap", [] { return std::make_unique<ContMap>(); });
-    graph.connect(head, merge);
-    graph.connect(merge, cont);
-
-    return env.engine->run(graph, inputs);
+    head = loader;
   }
+  append_merge_tail(graph, head, params);
+  return run_chain(env, std::move(graph));
 }
 
 RunInfo run_baseline(BenchEnv& env, const StagedInput& input, const Params& params) {

@@ -3,6 +3,7 @@
 #include <charconv>
 
 #include "engine/loaders.h"
+#include "ir/passes.h"
 
 namespace hamr::apps::wordcount {
 
@@ -101,35 +102,66 @@ class WcReducer : public mapreduce::Reducer {
 
 }  // namespace
 
-engine::FlowletGraph build_graph(uint32_t* loader_out, bool combine,
-                                 bool use_full_reduce) {
-  engine::FlowletGraph graph;
-  const auto loader = graph.add_loader(
-      "TextLoader", [] { return std::make_unique<engine::TextLoader>(); });
-  const auto split =
-      graph.add_map("Splitter", [] { return std::make_unique<Splitter>(); });
-  graph.connect(loader, split, engine::local_edge());
+ir::Graph build_ir(bool combine, bool use_full_reduce) {
+  ir::Graph graph;
+  const auto loader = graph.add_source(
+      "TextLoader", [] { return std::make_unique<engine::TextLoader>(); },
+      {"", "line"});
+  const auto split = graph.add_map(
+      "Splitter", [] { return std::make_unique<Splitter>(); }, {"", "line"},
+      {"word", "count"});
+  graph.connect(loader, split, ir::local_attrs());
   if (use_full_reduce) {
     const auto count = graph.add_reduce(
-        "CountReducer", [] { return std::make_unique<CountReducer>(); });
+        "CountReducer", [] { return std::make_unique<CountReducer>(); },
+        {"word", "count"});
+    graph.node(count).effect = true;  // writes out/wordcount/ in finish()
     graph.connect(split, count);
   } else {
-    const auto count = graph.add_partial_reduce(
-        "Counter", [] { return std::make_unique<Counter>(); });
-    engine::EdgeOptions options;
-    options.combine = combine;
-    graph.connect(split, count, options);
+    const auto count = graph.add_combine(
+        "Counter", [] { return std::make_unique<Counter>(); },
+        {"word", "count"});
+    graph.node(count).effect = true;
+    graph.node(count).combinable = combine;
+    graph.connect(split, count);
   }
-  *loader_out = loader;
   return graph;
 }
 
+engine::FlowletGraph build_graph(uint32_t* loader_out, bool combine,
+                                 bool use_full_reduce) {
+  ir::Lowered lowered = ir::lower(
+      ir::PassPipeline::no_fusion().run(build_ir(combine, use_full_reduce)));
+  *loader_out = lowered.flowlet_of[0];
+  return std::move(lowered.graph);
+}
+
+ir::Lowered build_fused(uint32_t* loader_out, bool combine,
+                        bool use_full_reduce) {
+  const ir::Graph optimized =
+      ir::optimize(build_ir(combine, use_full_reduce));
+  ir::Lowered lowered = ir::lower(optimized);
+  *loader_out = 0;
+  for (const ir::Node& node : optimized.nodes) {
+    if (node.kind == ir::NodeKind::kSource) {
+      *loader_out = lowered.flowlet_of[node.id];
+    }
+  }
+  return lowered;
+}
+
 RunInfo run_hamr(BenchEnv& env, const StagedInput& input, bool combine,
-                 bool use_full_reduce) {
-  uint32_t loader = 0;
-  engine::FlowletGraph graph = build_graph(&loader, combine, use_full_reduce);
+                 bool use_full_reduce, bool fused) {
   RunInfo info;
-  info.engine_result = env.engine->run(graph, inputs_for(loader, input));
+  uint32_t loader = 0;
+  if (fused) {
+    ir::Lowered lowered = build_fused(&loader, combine, use_full_reduce);
+    info.engine_result =
+        env.engine->run(lowered.graph, inputs_for(loader, input));
+  } else {
+    engine::FlowletGraph graph = build_graph(&loader, combine, use_full_reduce);
+    info.engine_result = env.engine->run(graph, inputs_for(loader, input));
+  }
   info.seconds = info.engine_result.wall_seconds;
   return info;
 }

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "apps/common.h"
+#include "ir/ir.h"
+#include "ir/lower.h"
 
 namespace hamr::apps::wordcount {
 
@@ -20,16 +22,28 @@ struct RunInfo {
   mapreduce::MrResult baseline_result;  // baseline runs only
 };
 
-// Builds the HAMR flowlet graph; exposed for tests/ablations that want to
-// tweak it. `combine` enables the sender-side combiner on the map->count
-// edge (Table 3); `use_full_reduce` swaps the partial reduce for a full
-// reduce (ablation A2).
+// The job as IR: source TextLoader -> map Splitter -> combine Counter (or
+// reduce CountReducer under ablation A2). `combine` opts the Counter into
+// sender-side combining (Table 3) - the place_combiner pass turns it into
+// the combine edge.
+ir::Graph build_ir(bool combine = false, bool use_full_reduce = false);
+
+// Builds the HAMR flowlet graph through ir::lower with the shape-preserving
+// pipeline (no fusion): flowlet ids stay loader=0, splitter=1, count=2,
+// which the chaos suite's pinned crash points rely on. Exposed for
+// tests/ablations that want to tweak it.
 engine::FlowletGraph build_graph(uint32_t* loader_out, bool combine = false,
                                  bool use_full_reduce = false);
 
-// Runs on HAMR; output in node-local "out/wordcount/" files.
+// Fused lowering: the standard pass pipeline collapses loader+splitter into
+// one task body (two flowlets total), byte-identical output.
+ir::Lowered build_fused(uint32_t* loader_out, bool combine = false,
+                        bool use_full_reduce = false);
+
+// Runs on HAMR; output in node-local "out/wordcount/" files. `fused` runs
+// the fused lowering instead of the id-preserving one.
 RunInfo run_hamr(BenchEnv& env, const StagedInput& input, bool combine = false,
-                 bool use_full_reduce = false);
+                 bool use_full_reduce = false, bool fused = false);
 
 // Runs on the baseline; output in DFS "/out/wordcount/".
 RunInfo run_baseline(BenchEnv& env, const StagedInput& input,

@@ -177,7 +177,7 @@ void EmitSpec::emit_row(const Row& row, engine::Context& ctx) const {
       std::string value;
       value.push_back(static_cast<char>(side));
       value += schema.encode_row(row);
-      ctx.emit(0, encode_key(row, {key_col}), value);
+      ctx.emit(0, encode_key(row, key_cols), value);
       return;
     }
     case Mode::kGroupState:

@@ -86,7 +86,7 @@ struct EmitSpec {
   };
   Mode mode = Mode::kLocalRow;
   Schema schema;                              // producer's output schema
-  uint32_t key_col = 0;                       // kJoinSide
+  std::vector<uint32_t> key_cols;             // kJoinSide (composed join key)
   uint8_t side = 0;                           // kJoinSide tag (0=left)
   std::shared_ptr<const GroupCompiled> group; // kGroupState
 

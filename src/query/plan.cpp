@@ -145,12 +145,19 @@ PlanPtr project(PlanPtr child, std::vector<uint32_t> cols) {
 
 PlanPtr hash_join(PlanPtr left, PlanPtr right, uint32_t left_key,
                   uint32_t right_key) {
+  return hash_join(std::move(left), std::move(right),
+                   std::vector<uint32_t>{left_key},
+                   std::vector<uint32_t>{right_key});
+}
+
+PlanPtr hash_join(PlanPtr left, PlanPtr right, std::vector<uint32_t> left_keys,
+                  std::vector<uint32_t> right_keys) {
   auto p = std::make_unique<Plan>();
   p->kind = Plan::Kind::kJoin;
   p->child = std::move(left);
   p->right = std::move(right);
-  p->left_key = left_key;
-  p->right_key = right_key;
+  p->left_keys = std::move(left_keys);
+  p->right_keys = std::move(right_keys);
   return p;
 }
 
@@ -213,13 +220,23 @@ Schema output_schema(const Plan& plan, const Catalog& catalog) {
     case Plan::Kind::kJoin: {
       Schema left = output_schema(*plan.child, catalog);
       Schema right = output_schema(*plan.right, catalog);
-      check_col(plan.left_key, left, "left join key");
-      check_col(plan.right_key, right, "right join key");
-      if (left.cols[plan.left_key].type != right.cols[plan.right_key].type) {
+      if (plan.left_keys.empty() ||
+          plan.left_keys.size() != plan.right_keys.size()) {
         throw std::invalid_argument(
-            std::string("join key types differ: ") +
-            col_type_name(left.cols[plan.left_key].type) + " vs " +
-            col_type_name(right.cols[plan.right_key].type));
+            "join needs matching, non-empty key column lists (" +
+            std::to_string(plan.left_keys.size()) + " vs " +
+            std::to_string(plan.right_keys.size()) + ")");
+      }
+      for (size_t k = 0; k < plan.left_keys.size(); ++k) {
+        check_col(plan.left_keys[k], left, "left join key");
+        check_col(plan.right_keys[k], right, "right join key");
+        if (left.cols[plan.left_keys[k]].type !=
+            right.cols[plan.right_keys[k]].type) {
+          throw std::invalid_argument(
+              "join key pair " + std::to_string(k) + " types differ: " +
+              col_type_name(left.cols[plan.left_keys[k]].type) + " vs " +
+              col_type_name(right.cols[plan.right_keys[k]].type));
+        }
       }
       Schema out;
       for (const Column& c : left.cols) out.cols.push_back({"l." + c.name, c.type});

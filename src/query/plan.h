@@ -86,7 +86,10 @@ struct Plan {
   // kFilter/kProject/kGroupBy use child; kJoin uses child (left) + right.
   std::unique_ptr<Plan> child;
   std::unique_ptr<Plan> right;
-  uint32_t left_key = 0, right_key = 0;  // kJoin
+  // kJoin: equal-length, non-empty key column lists; rows match when every
+  // pair of key columns is equal (keys compose via encode_key's
+  // self-describing concatenation, so one encoded key covers them all).
+  std::vector<uint32_t> left_keys, right_keys;
 
   std::vector<uint32_t> keys;  // kGroupBy (non-empty)
   std::vector<AggSpec> aggs;   // kGroupBy (non-empty)
@@ -98,8 +101,12 @@ PlanPtr scan(std::string table);
 PlanPtr filter(PlanPtr child, Expr pred);
 PlanPtr project(PlanPtr child, std::vector<uint32_t> cols);
 // Inner join; output = left columns ("l.<name>") then right ("r.<name>").
+// Single-column shorthand and the general multi-column form: rows join when
+// all key column pairs match (types must agree pairwise).
 PlanPtr hash_join(PlanPtr left, PlanPtr right, uint32_t left_key,
                   uint32_t right_key);
+PlanPtr hash_join(PlanPtr left, PlanPtr right, std::vector<uint32_t> left_keys,
+                  std::vector<uint32_t> right_keys);
 // Output = key columns (original names) then one column per aggregate:
 // "cnt" (i64), "sum_<col>" (column's numeric type, i64 sums wrap mod 2^64),
 // "min_<col>" / "max_<col>" (column's type).

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "cache/scan_loader.h"
+#include "ir/lower.h"
+#include "ir/passes.h"
 #include "query/exec.h"
 #include "serde/batch.h"
 
@@ -83,26 +85,40 @@ StagedTables stage_tables(cluster::Cluster& cluster, const Catalog& catalog,
 
 namespace {
 
-// Recursive lowering context: the graph/inputs under construction plus the
+// Recursive lowering context: the IR graph under construction plus the
 // staged-table map for split generation.
 struct LowerCtx {
   const Catalog& catalog;
   const StagedTables& staged;
-  engine::FlowletGraph graph;
-  engine::JobInputs inputs;
+  ir::Graph graph;
 };
 
-engine::FlowletId lower_node(const Plan& plan, EmitSpec emit, LowerCtx& ctx);
+// Type tag of a producer's hand-off, from how its consumer wants rows: the
+// IR verifier then proves every stage receives the encoding it decodes.
+ir::TypeTag tag_of(const EmitSpec& emit) {
+  switch (emit.mode) {
+    case EmitSpec::Mode::kLocalRow:
+      return {"", "row"};
+    case EmitSpec::Mode::kJoinSide:
+      return {"join-key", "side-row"};
+    case EmitSpec::Mode::kGroupState:
+      return {"group-key", "agg-state"};
+  }
+  return {};
+}
+
+ir::NodeId lower_node(const Plan& plan, EmitSpec emit, LowerCtx& ctx);
 
 Schema schema_of(const Plan& plan, const Catalog& catalog) {
   return output_schema(plan, catalog);
 }
 
-engine::FlowletId lower_scan_chain(const Plan& base, RowPipeline pipeline,
-                                   EmitSpec emit, LowerCtx& ctx) {
+ir::NodeId lower_scan_chain(const Plan& base, RowPipeline pipeline,
+                            EmitSpec emit, LowerCtx& ctx) {
   auto compiled = std::make_shared<ScanCompiled>();
   compiled->table_schema = ctx.catalog.at(base.table).schema;
   compiled->pipeline = std::move(pipeline);
+  const ir::TypeTag out = tag_of(emit);
   compiled->emit = std::move(emit);
 
   // Cache-resident staging: scan the pinned dataset in place. Placement is
@@ -110,15 +126,17 @@ engine::FlowletId lower_scan_chain(const Plan& base, RowPipeline pipeline,
   // table moves zero bytes between queries of a session.
   auto cached = ctx.staged.cached.find(base.table);
   if (cached != ctx.staged.cached.end()) {
-    const engine::FlowletId loader = ctx.graph.add_loader(
+    const ir::NodeId loader = ctx.graph.add_source(
         "QueryCachedScan(" + base.table + ")",
-        make_cached_scan_loader(compiled, cached->second));
-    cache::add_scan_splits(&ctx.inputs, loader, *cached->second);
+        make_cached_scan_loader(compiled, cached->second), out);
+    engine::JobInputs scan_inputs;
+    cache::add_scan_splits(&scan_inputs, loader, *cached->second);
+    ctx.graph.node(loader).splits = std::move(scan_inputs.splits.at(loader));
     return loader;
   }
 
-  const engine::FlowletId loader = ctx.graph.add_loader(
-      "QueryScan(" + base.table + ")", make_scan_loader(compiled));
+  const ir::NodeId loader = ctx.graph.add_source(
+      "QueryScan(" + base.table + ")", make_scan_loader(compiled), out);
   const auto& bytes = ctx.staged.shard_bytes.at(base.table);
   for (uint32_t n = 0; n < ctx.staged.nodes; ++n) {
     engine::InputSplit split;
@@ -126,40 +144,41 @@ engine::FlowletId lower_scan_chain(const Plan& base, RowPipeline pipeline,
     split.offset = 0;
     split.length = bytes[n];
     split.preferred_node = n;
-    ctx.inputs.add(loader, split);
+    ctx.graph.node(loader).splits.push_back(std::move(split));
   }
   return loader;
 }
 
-engine::FlowletId lower_join(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
+ir::NodeId lower_join(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
   auto compiled = std::make_shared<JoinCompiled>();
   compiled->left_schema = schema_of(*plan.child, ctx.catalog);
   compiled->right_schema = schema_of(*plan.right, ctx.catalog);
+  const ir::TypeTag out = tag_of(emit);
   compiled->emit = std::move(emit);
 
-  const engine::FlowletId join =
-      ctx.graph.add_reduce("QueryHashJoin", make_join(compiled));
+  const ir::NodeId join =
+      ctx.graph.add_reduce("QueryHashJoin", make_join(compiled),
+                           {"join-key", "side-row"}, out);
 
   EmitSpec left_emit;
   left_emit.mode = EmitSpec::Mode::kJoinSide;
   left_emit.schema = compiled->left_schema;
-  left_emit.key_col = plan.left_key;
+  left_emit.key_cols = plan.left_keys;
   left_emit.side = 0;
-  const engine::FlowletId left = lower_node(*plan.child, left_emit, ctx);
+  const ir::NodeId left = lower_node(*plan.child, left_emit, ctx);
   ctx.graph.connect(left, join);
 
   EmitSpec right_emit;
   right_emit.mode = EmitSpec::Mode::kJoinSide;
   right_emit.schema = compiled->right_schema;
-  right_emit.key_col = plan.right_key;
+  right_emit.key_cols = plan.right_keys;
   right_emit.side = 1;
-  const engine::FlowletId right = lower_node(*plan.right, right_emit, ctx);
+  const ir::NodeId right = lower_node(*plan.right, right_emit, ctx);
   ctx.graph.connect(right, join);
   return join;
 }
 
-engine::FlowletId lower_group_by(const Plan& plan, EmitSpec emit,
-                                 LowerCtx& ctx) {
+ir::NodeId lower_group_by(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
   auto g = std::make_shared<GroupCompiled>();
   g->key_cols = plan.keys;
   g->aggs = plan.aggs;
@@ -167,23 +186,25 @@ engine::FlowletId lower_group_by(const Plan& plan, EmitSpec emit,
   g->out_schema = schema_of(plan, ctx.catalog);
   for (uint32_t k : plan.keys) g->key_types.push_back(g->in_schema.cols[k].type);
 
-  const engine::FlowletId group = ctx.graph.add_partial_reduce(
-      "QueryGroupBy", make_group_by(g, std::move(emit)));
+  const ir::TypeTag out = tag_of(emit);
+  const ir::NodeId group =
+      ctx.graph.add_combine("QueryGroupBy", make_group_by(g, std::move(emit)),
+                            {"group-key", "agg-state"}, out);
+  // Sender-side combining (placed by the place_combiner pass): single-row
+  // states merge into per-key partials before bins are packed, so hot keys
+  // cross the wire pre-aggregated.
+  ctx.graph.node(group).combinable = true;
 
   EmitSpec child_emit;
   child_emit.mode = EmitSpec::Mode::kGroupState;
   child_emit.schema = g->in_schema;
   child_emit.group = g;
-  const engine::FlowletId child = lower_node(*plan.child, child_emit, ctx);
-  // Sender-side combining: single-row states merge into per-key partials
-  // before bins are packed, so hot keys cross the wire pre-aggregated.
-  engine::EdgeOptions options;
-  options.combine = true;
-  ctx.graph.connect(child, group, options);
+  const ir::NodeId child = lower_node(*plan.child, child_emit, ctx);
+  ctx.graph.connect(child, group);
   return group;
 }
 
-engine::FlowletId lower_node(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
+ir::NodeId lower_node(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
   // Peel the filter/project chain above the next shuffle (or scan): the
   // steps fuse into whatever flowlet produces the chain's input rows.
   RowPipeline pipeline;
@@ -212,23 +233,24 @@ engine::FlowletId lower_node(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
         return is_join ? lower_join(*node, std::move(emit), ctx)
                        : lower_group_by(*node, std::move(emit), ctx);
       }
-      // Fused map fed over a local edge: the base's output rows are already
+      // Map fed over a local edge: the base's output rows are already
       // partitioned however its own shuffle left them, and filter/project
-      // are row-local, so no network hop is needed.
+      // are row-local, so no network hop is needed. The fuse_maps pass then
+      // folds it into the producing stage's task body.
       auto compiled = std::make_shared<MapCompiled>();
       compiled->in_schema = schema_of(*node, ctx.catalog);
       compiled->pipeline = std::move(pipeline);
+      const ir::TypeTag out = tag_of(emit);
       compiled->emit = std::move(emit);
-      const engine::FlowletId map =
-          ctx.graph.add_map("QueryFusedMap", make_fused_map(compiled));
+      const ir::NodeId map = ctx.graph.add_map(
+          "QueryFusedMap", make_fused_map(compiled), {"", "row"}, out);
 
       EmitSpec base_emit;
       base_emit.mode = EmitSpec::Mode::kLocalRow;
       base_emit.schema = compiled->in_schema;
-      const engine::FlowletId base =
-          is_join ? lower_join(*node, base_emit, ctx)
-                  : lower_group_by(*node, base_emit, ctx);
-      ctx.graph.connect(base, map, engine::local_edge());
+      const ir::NodeId base = is_join ? lower_join(*node, base_emit, ctx)
+                                      : lower_group_by(*node, base_emit, ctx);
+      ctx.graph.connect(base, map, ir::local_attrs());
       return map;
     }
 
@@ -241,24 +263,35 @@ engine::FlowletId lower_node(const Plan& plan, EmitSpec emit, LowerCtx& ctx) {
 
 }  // namespace
 
+ir::Graph lower_ir(const Plan& plan, const Catalog& catalog,
+                   const StagedTables& staged, const std::string& tag,
+                   std::string* out_prefix_out) {
+  output_schema(plan, catalog);  // validates the tree
+  const std::string out_prefix = "out/query/" + tag + "/";
+  if (out_prefix_out != nullptr) *out_prefix_out = out_prefix;
+
+  LowerCtx ctx{catalog, staged, {}};
+  const ir::NodeId sink =
+      ctx.graph.add_sink("QuerySink", make_sink(out_prefix), {"", "row"});
+
+  EmitSpec top_emit;
+  top_emit.mode = EmitSpec::Mode::kLocalRow;
+  top_emit.schema = output_schema(plan, catalog);
+  const ir::NodeId top = lower_node(plan, top_emit, ctx);
+  ctx.graph.connect(top, sink, ir::local_attrs());
+  return ctx.graph;
+}
+
 Lowered lower(const Plan& plan, const Catalog& catalog,
               const StagedTables& staged, const std::string& tag) {
   Lowered lowered;
   lowered.out_schema = output_schema(plan, catalog);  // validates the tree
-  lowered.out_prefix = "out/query/" + tag + "/";
 
-  LowerCtx ctx{catalog, staged, {}, {}};
-  const engine::FlowletId sink =
-      ctx.graph.add_map("QuerySink", make_sink(lowered.out_prefix));
-
-  EmitSpec top_emit;
-  top_emit.mode = EmitSpec::Mode::kLocalRow;
-  top_emit.schema = lowered.out_schema;
-  const engine::FlowletId top = lower_node(plan, top_emit, ctx);
-  ctx.graph.connect(top, sink, engine::local_edge());
-
-  lowered.graph = std::move(ctx.graph);
-  lowered.inputs = std::move(ctx.inputs);
+  ir::Graph graph =
+      ir::optimize(lower_ir(plan, catalog, staged, tag, &lowered.out_prefix));
+  ir::Lowered backend = ir::lower(graph);
+  lowered.graph = std::move(backend.graph);
+  lowered.inputs = std::move(backend.inputs);
   return lowered;
 }
 

@@ -21,14 +21,14 @@ Evaluated eval_join(const Plan& plan, const Catalog& catalog) {
   // Build on the left, probe with the right; keys match on encoded bytes.
   std::unordered_multimap<std::string, const Row*> build;
   build.reserve(left.rows.size());
-  const std::vector<uint32_t> lkey{plan.left_key};
-  const std::vector<uint32_t> rkey{plan.right_key};
-  for (const Row& l : left.rows) build.emplace(encode_key(l, lkey), &l);
+  for (const Row& l : left.rows) {
+    build.emplace(encode_key(l, plan.left_keys), &l);
+  }
 
   Evaluated out;
   out.schema = output_schema(plan, catalog);
   for (const Row& r : right.rows) {
-    const auto [begin, end] = build.equal_range(encode_key(r, rkey));
+    const auto [begin, end] = build.equal_range(encode_key(r, plan.right_keys));
     for (auto it = begin; it != end; ++it) {
       Row joined = *it->second;
       joined.insert(joined.end(), r.begin(), r.end());

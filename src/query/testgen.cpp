@@ -118,13 +118,20 @@ std::vector<uint32_t> random_projection(std::mt19937_64& rng,
   return cols;
 }
 
-// Rewrites ~half of `table`'s column-0 keys to values drawn from `other`'s
-// column 0, so joins on c0 produce matches without being degenerate.
-void correlate_keys(std::mt19937_64& rng, Table* table, const Table& other) {
+// Rewrites ~half of `table`'s key tuples (columns `keys`) to key tuples
+// drawn from `other`'s `other_keys` columns, so joins on those columns
+// produce matches without being degenerate.
+void correlate_keys(std::mt19937_64& rng, Table* table,
+                    const std::vector<uint32_t>& keys, const Table& other,
+                    const std::vector<uint32_t>& other_keys) {
   if (other.rows.empty()) return;
   for (Row& row : table->rows) {
     if (pick(rng, 2) == 0) {
-      row[0] = other.rows[pick(rng, static_cast<uint32_t>(other.rows.size()))][0];
+      const Row& src =
+          other.rows[pick(rng, static_cast<uint32_t>(other.rows.size()))];
+      for (size_t k = 0; k < keys.size(); ++k) {
+        row[keys[k]] = src[other_keys[k]];
+      }
     }
   }
 }
@@ -183,10 +190,21 @@ GeneratedQuery generate_query(Family family, uint64_t seed) {
     case Family::kJoin:
     case Family::kJoinGroupBy: {
       Table t2 = random_table(rng, random_row_count(rng));
-      correlate_keys(rng, &t2, t1);
+      // Half the time (when column types line up) join on a composed
+      // {c0, c1} key tuple instead of bare c0, exercising multi-column
+      // encode_key composition end to end.
+      std::vector<uint32_t> left_keys{0};
+      std::vector<uint32_t> right_keys{0};
+      if (t1.schema.cols[1].type == t2.schema.cols[1].type &&
+          pick(rng, 2) == 0) {
+        left_keys.push_back(1);
+        right_keys.push_back(1);
+      }
+      correlate_keys(rng, &t2, right_keys, t1, left_keys);
       PlanPtr left = maybe_filter(rng, scan("t1"), t1);
       PlanPtr right = maybe_filter(rng, scan("t2"), t2);
-      PlanPtr joined = hash_join(std::move(left), std::move(right), 0, 0);
+      PlanPtr joined =
+          hash_join(std::move(left), std::move(right), left_keys, right_keys);
 
       Catalog tmp;  // joined schema for the operators above the join
       tmp.tables["t1"] = t1;

@@ -177,6 +177,46 @@ TEST(Chaos, WordCountSurvivesMessageChaosByteIdentical) {
   EXPECT_GT(info.engine_result.faults_injected, 0u);
 }
 
+TEST(ChaosIR, FusedWordCountSurvivesChaosByteIdentical) {
+  // The same 5% drop + 2% crash plan, but the job is lowered through the
+  // standard IR pass pipeline (loader+splitter fused into one task body).
+  // Fusion moves work between flowlets, so retries replay bigger units -
+  // the output must still match the sequential reference byte for byte.
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/11, /*msg_rate=*/0.05,
+                                         /*crash_rate=*/0.02));
+  gen::TextSpec spec;
+  spec.total_bytes = 96 * 1024;
+  auto shards = apps::make_shards(chaos.env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(chaos.env, "wc_chaos_ir", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  auto info = apps::wordcount::run_hamr(chaos.env, staged, /*combine=*/false,
+                                        /*use_full_reduce=*/false,
+                                        /*fused=*/true);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+  EXPECT_GT(info.engine_result.faults_injected, 0u);
+}
+
+TEST(ChaosIR, FusedCombinerWordCountSurvivesChaosByteIdentical) {
+  // Fused lowering with the sender-side combiner placed by the IR pipeline:
+  // the combine edge folds through the fused flowlet's forwarded fold().
+  ChaosEnv chaos(fault::FaultPlan::chaos(/*seed=*/23, /*msg_rate=*/0.05,
+                                         /*crash_rate=*/0.02));
+  gen::TextSpec spec;
+  spec.total_bytes = 96 * 1024;
+  auto shards = apps::make_shards(chaos.env.nodes(),
+                            [&](uint32_t i) { return gen::text_shard(spec, i, 4); });
+  auto staged = apps::stage_input(chaos.env, "wc_chaos_irc", shards, 16 * 1024);
+  const auto expected = apps::wordcount::reference(shards);
+
+  auto info = apps::wordcount::run_hamr(chaos.env, staged, /*combine=*/true,
+                                        /*use_full_reduce=*/false,
+                                        /*fused=*/true);
+  EXPECT_EQ(apps::wordcount::hamr_output(chaos.env), expected);
+  EXPECT_GT(info.engine_result.faults_injected, 0u);
+}
+
 TEST(Chaos, DroppedFramesAreRetransmittedUntilAcked) {
   // Half of all data frames (acks excluded) vanish in flight; the job can
   // only complete through retransmission, and the output must still be

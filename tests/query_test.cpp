@@ -139,6 +139,32 @@ TEST_F(QueryDifferential, JoinWithNoMatches) {
   expect_differential_match(*plan, catalog, "edge_join_no_match");
 }
 
+TEST_F(QueryDifferential, MultiColumnJoinKeysComposeViaEncodeKey) {
+  // Join on (i64, str) key tuples: rows must match only when BOTH columns
+  // agree. Shared c0 values with differing c2 strings probe the composed
+  // encode_key - a join that compared only the first column would produce
+  // extra rows, a concatenation without self-describing framing could
+  // confuse ("ab","c") with ("a","bc").
+  Catalog catalog;
+  Table left = three_col_table();
+  Table right = three_col_table();
+  for (int64_t i = 0; i < 48; ++i) {
+    left.rows.push_back(
+        {V(i % 8), V(static_cast<double>(i) / 16.0), V(i % 2 ? "ab" : "a")});
+    right.rows.push_back(
+        {V(i % 8), V(static_cast<double>(i) / 8.0), V(i % 3 ? "b" : "ab")});
+  }
+  catalog.tables["t1"] = std::move(left);
+  catalog.tables["t2"] = std::move(right);
+
+  PlanPtr plan = hash_join(scan("t1"), scan("t2"),
+                           std::vector<uint32_t>{0, 2},
+                           std::vector<uint32_t>{0, 2});
+  const auto rows = reference_eval(*plan, catalog);
+  ASSERT_FALSE(rows.empty());  // ("ab" x "ab") pairs exist by construction
+  expect_differential_match(*plan, catalog, "edge_multicol_join");
+}
+
 TEST_F(QueryDifferential, SingleHotGroupByKey) {
   // Every row lands in one group: the whole fold funnels through a single
   // FlatAccTable slot on one node, and the sender-side combiner has maximal
@@ -215,6 +241,24 @@ TEST(QueryValidation, RejectsMalformedPlans) {
                std::invalid_argument);
   // Join keys of different types (i64 vs str).
   EXPECT_THROW(reference_eval(*hash_join(scan("t1"), scan("t2"), 0, 1),
+                              catalog),
+               std::invalid_argument);
+  // Mismatched key-list lengths.
+  EXPECT_THROW(reference_eval(*hash_join(scan("t1"), scan("t2"),
+                                         std::vector<uint32_t>{0, 1},
+                                         std::vector<uint32_t>{0}),
+                              catalog),
+               std::invalid_argument);
+  // Empty key lists.
+  EXPECT_THROW(reference_eval(*hash_join(scan("t1"), scan("t2"),
+                                         std::vector<uint32_t>{},
+                                         std::vector<uint32_t>{}),
+                              catalog),
+               std::invalid_argument);
+  // Second key pair type-mismatched (first pair fine).
+  EXPECT_THROW(reference_eval(*hash_join(scan("t1"), scan("t2"),
+                                         std::vector<uint32_t>{0, 0},
+                                         std::vector<uint32_t>{0, 1}),
                               catalog),
                std::invalid_argument);
   // Sum over a string column.
